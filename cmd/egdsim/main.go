@@ -1,0 +1,213 @@
+// Command egdsim runs one evolutionary game dynamics simulation and reports
+// the outcome: the final strategy distribution, the WSLS fraction, fitness
+// and cooperation trajectories, and (optionally) a per-generation CSV trace
+// and a binary checkpoint of the final population.
+//
+// Examples:
+//
+//	egdsim -memory 1 -ssets 64 -gens 5000
+//	egdsim -memory 1 -ssets 100 -gens 20000 -mixed -error 0.01 -beta 10
+//	egdsim -memory 6 -ssets 32 -gens 100 -ranks 8 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "egdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		memory    = flag.Int("memory", 1, "strategy memory depth n in [1,6]")
+		ssets     = flag.Int("ssets", 64, "number of Strategy Sets")
+		gens      = flag.Int("gens", 1000, "generations to simulate")
+		rounds    = flag.Int("rounds", 200, "IPD rounds per match (paper: 200)")
+		errRate   = flag.Float64("error", 0, "per-move execution error probability")
+		pcRate    = flag.Float64("pcrate", sim.DefaultPCRate, "pairwise comparison rate (paper: 0.10)")
+		mu        = flag.Float64("mu", sim.DefaultMu, "mutation rate (paper: 0.05)")
+		beta      = flag.Float64("beta", sim.DefaultBeta, "Fermi selection intensity")
+		mixed     = flag.Bool("mixed", false, "evolve probabilistic (mixed) strategies")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		ranks     = flag.Int("ranks", 1, "1 = sequential; >= 2 = parallel engine (Nature + workers)")
+		full      = flag.Bool("full", false, "recompute all fitness every generation (paper timing mode)")
+		search    = flag.Bool("search", false, "use the paper-faithful linear find_state lookup")
+		fermi     = flag.Bool("fermi", false, "unconditional Fermi adoption (no teacher-better gate; Traulsen et al.)")
+		exact     = flag.Bool("exact", false, "exact infinite-game Markov payoffs instead of sampled matches")
+		csvPath   = flag.String("trace", "", "write per-generation CSV trace to this file")
+		ckpt      = flag.String("checkpoint", "", "write final population checkpoint to this file")
+		resume    = flag.String("resume", "", "resume from a checkpoint file (continues its trajectory)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "also write the checkpoint every N generations (requires -checkpoint)")
+		mapRows   = flag.Int("map", 0, "print an ASCII strategy map of up to this many SSets")
+		top       = flag.Int("top", 5, "report the top-k most abundant final strategies")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig(*memory, *ssets)
+	cfg.Generations = *gens
+	cfg.Rules.Rounds = *rounds
+	cfg.Rules.ErrorRate = *errRate
+	cfg.PCRate = *pcRate
+	cfg.Mu = *mu
+	cfg.Beta = *beta
+	if *mixed {
+		cfg.Kind = sim.MixedStrategies
+	}
+	cfg.Seed = *seed
+	cfg.FullRecompute = *full
+	cfg.UseSearchEngine = *search
+	cfg.AllowWorseAdoption = *fermi
+	cfg.ExactPayoffs = *exact
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		if err != nil {
+			return err
+		}
+		snap, err := checkpoint.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if snap.Memory != *memory {
+			return fmt.Errorf("checkpoint is memory-%d, flags say memory-%d", snap.Memory, *memory)
+		}
+		if len(snap.Strategies) != *ssets {
+			return fmt.Errorf("checkpoint has %d SSets, flags say %d", len(snap.Strategies), *ssets)
+		}
+		cfg.InitialStrategies = snap.Strategies
+		cfg.StartGeneration = int(snap.Generation)
+		cfg.Seed = snap.Seed
+		fmt.Printf("resuming from %s at generation %d (seed %d)\n", *resume, snap.Generation, snap.Seed)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	var rec *trace.Recorder
+	var observers []sim.Observer
+	if *csvPath != "" {
+		rec = trace.NewRecorder(100000)
+		observers = append(observers, sim.ObserverFunc(func(gen int, pop *sim.Population, ev sim.Events) {
+			rec.Add(trace.Record{
+				Generation:  gen,
+				Cooperation: pop.MeanCooperationProb(),
+				Distinct:    pop.Abundance().Distinct(),
+				PC:          ev.PCOccurred,
+				Adopted:     ev.Adopted,
+				Mutated:     ev.MutationOccurred,
+			})
+		}))
+	}
+	if *ckptEvery > 0 {
+		if *ckpt == "" {
+			return fmt.Errorf("-checkpoint-every requires -checkpoint FILE")
+		}
+		observers = append(observers, sim.ObserverFunc(func(gen int, pop *sim.Population, ev sim.Events) {
+			if gen == 0 || gen%*ckptEvery != 0 {
+				return
+			}
+			if err := writeCheckpoint(*ckpt, uint64(gen), cfg.Seed, *memory, pop.Snapshot(), nil); err != nil {
+				fmt.Fprintf(os.Stderr, "egdsim: periodic checkpoint at gen %d: %v\n", gen, err)
+			}
+		}))
+	}
+	switch len(observers) {
+	case 1:
+		cfg.Observer = observers[0]
+	default:
+		if len(observers) > 1 {
+			all := observers
+			cfg.Observer = sim.ObserverFunc(func(gen int, pop *sim.Population, ev sim.Events) {
+				for _, o := range all {
+					o.Generation(gen, pop, ev)
+				}
+			})
+		}
+	}
+
+	var (
+		res *sim.Result
+		err error
+	)
+	if *ranks >= 2 {
+		res, err = sim.RunParallel(cfg, *ranks)
+	} else {
+		res, err = sim.RunSequential(cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("run: memory-%d, %d SSets, %d generations, %d ranks, %.2fs\n",
+		*memory, *ssets, *gens, res.Ranks, res.Elapsed.Seconds())
+	fmt.Printf("population: %d agents (agents/SSet = #SSets), %d games/generation when fully replayed\n",
+		cfg.PopulationSize(), cfg.GamesPerGeneration())
+	fmt.Printf("work: %d games, %d PC events, %d adoptions, %d mutations\n",
+		res.Counters.GamesPlayed, res.Counters.PCEvents, res.Counters.Adoptions, res.Counters.Mutations)
+	if g, v, ok := res.MeanFitness.Last(); ok {
+		fmt.Printf("final mean fitness (gen %d): %.4f  [1=all-defect .. 3=full cooperation]\n", g, v)
+	}
+	if g, v, ok := res.Cooperation.Last(); ok {
+		fmt.Printf("final cooperation probability (gen %d): %.4f\n", g, v)
+	}
+	sp := strategy.NewSpace(*memory)
+	fmt.Printf("WSLS fraction: %.3f\n", res.FractionNear(strategy.WSLS(sp)))
+	fmt.Printf("distinct strategies: %d of %d SSets\n", res.FinalAbundance().Distinct(), *ssets)
+	fmt.Println("most abundant strategies:")
+	for _, line := range core.SortedAbundanceNames(res, *top) {
+		fmt.Println("  ", line)
+	}
+	if *mapRows > 0 {
+		fmt.Println("strategy map (rows = SSets, cols = states; '.'=C '#'=D):")
+		fmt.Print(core.AsciiMap(res.Final, *mapRows))
+	}
+
+	if rec != nil {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d records -> %s\n", rec.Len(), *csvPath)
+	}
+	if *ckpt != "" {
+		if err := writeCheckpoint(*ckpt, uint64(cfg.StartGeneration+*gens), cfg.Seed, *memory, res.Final, res.FinalFitness); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint -> %s\n", *ckpt)
+	}
+	return nil
+}
+
+// writeCheckpoint atomically-ish writes a snapshot (write then rename is
+// unnecessary for this tool; a plain truncate-write keeps it simple).
+func writeCheckpoint(path string, gen, seed uint64, memory int, strategies []strategy.Strategy, fitness []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap := &checkpoint.Snapshot{
+		Generation: gen,
+		Seed:       seed,
+		Memory:     memory,
+		Strategies: strategies,
+		Fitness:    fitness,
+	}
+	return checkpoint.Write(f, snap)
+}

@@ -1,0 +1,115 @@
+// Command egdsweep runs a grid of simulations over parameter ranges and
+// prints one CSV row per cell — the parameter-study driver for questions
+// like "at which error rate does cooperation collapse" or "which selection
+// intensity lets WSLS emerge".
+//
+// Parameter flags take comma-separated value lists; the sweep is their
+// cartesian product. Example:
+//
+//	egdsweep -ssets 32 -gens 50000 -mixed -fermi \
+//	         -beta 1,3,10 -mu 0.01,0.05 -error 0.005,0.01,0.02 -seeds 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "egdsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		memory  = flag.Int("memory", 1, "strategy memory depth")
+		ssets   = flag.Int("ssets", 32, "number of Strategy Sets")
+		gens    = flag.Int("gens", 10000, "generations per cell")
+		rounds  = flag.Int("rounds", 200, "IPD rounds per match")
+		mixed   = flag.Bool("mixed", false, "evolve mixed strategies")
+		fermi   = flag.Bool("fermi", false, "unconditional Fermi adoption")
+		pcrate  = flag.Float64("pcrate", sim.DefaultPCRate, "pairwise comparison rate")
+		betas   = flag.String("beta", "1", "comma-separated selection intensities")
+		mus     = flag.String("mu", "0.05", "comma-separated mutation rates")
+		errs    = flag.String("error", "0", "comma-separated execution error rates")
+		seeds   = flag.Int("seeds", 1, "number of seeds per parameter combination")
+		workers = flag.Int("workers", 0, "concurrent cells (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	base := sim.DefaultConfig(*memory, *ssets)
+	base.Generations = *gens
+	base.Rules.Rounds = *rounds
+	base.PCRate = *pcrate
+	if *mixed {
+		base.Kind = sim.MixedStrategies
+	}
+	base.AllowWorseAdoption = *fermi
+
+	seedVals := make([]string, *seeds)
+	for i := range seedVals {
+		seedVals[i] = strconv.Itoa(i + 1)
+	}
+	grid, err := sweep.Cross(base,
+		[]string{"beta", "mu", "error", "seed"},
+		[][]string{split(*betas), split(*mus), split(*errs), seedVals},
+		applyParam)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "egdsweep: %d cells x %d generations\n", grid.Size(), *gens)
+	outcomes := grid.Run(*workers)
+	fmt.Print(sweep.CSV(outcomes))
+	return nil
+}
+
+func split(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func applyParam(cfg *sim.Config, name, value string) error {
+	switch name {
+	case "beta":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return err
+		}
+		cfg.Beta = v
+	case "mu":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return err
+		}
+		cfg.Mu = v
+	case "error":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return err
+		}
+		cfg.Rules.ErrorRate = v
+	case "seed":
+		v, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return err
+		}
+		cfg.Seed = v
+	default:
+		return fmt.Errorf("unknown parameter %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSplit(t *testing.T) {
+	cases := map[string][]string{
+		"1,2,3":    {"1", "2", "3"},
+		" 1 , 2 ":  {"1", "2"},
+		"1":        {"1"},
+		"1,,2":     {"1", "2"},
+		",":        {},
+		"0.1,0.05": {"0.1", "0.05"},
+	}
+	for in, want := range cases {
+		got := split(in)
+		if len(got) != len(want) {
+			t.Errorf("split(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("split(%q)[%d] = %q, want %q", in, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestApplyParam(t *testing.T) {
+	cfg := sim.DefaultConfig(1, 8)
+	if err := applyParam(&cfg, "beta", "2.5"); err != nil || cfg.Beta != 2.5 {
+		t.Fatalf("beta: %v %v", cfg.Beta, err)
+	}
+	if err := applyParam(&cfg, "mu", "0.2"); err != nil || cfg.Mu != 0.2 {
+		t.Fatalf("mu: %v %v", cfg.Mu, err)
+	}
+	if err := applyParam(&cfg, "error", "0.05"); err != nil || cfg.Rules.ErrorRate != 0.05 {
+		t.Fatalf("error: %v %v", cfg.Rules.ErrorRate, err)
+	}
+	if err := applyParam(&cfg, "seed", "99"); err != nil || cfg.Seed != 99 {
+		t.Fatalf("seed: %v %v", cfg.Seed, err)
+	}
+	if err := applyParam(&cfg, "bogus", "1"); err == nil {
+		t.Fatal("unknown param accepted")
+	}
+	for _, bad := range [][2]string{{"beta", "x"}, {"mu", "x"}, {"error", "x"}, {"seed", "-1"}} {
+		if err := applyParam(&cfg, bad[0], bad[1]); err == nil {
+			t.Fatalf("bad %s value accepted", bad[0])
+		}
+	}
+}

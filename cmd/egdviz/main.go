@@ -1,0 +1,141 @@
+// Command egdviz reproduces the paper's Fig. 2 population view: it loads a
+// checkpoint written by egdsim (or runs a fresh WSLS validation), clusters
+// the strategies with Lloyd k-means so prevalent strategies group together,
+// and renders the population map — each row an SSet's strategy, each column
+// a state, cooperation yellow ('.') and defection blue ('#') — as ASCII
+// and/or a PPM image.
+//
+// Examples:
+//
+//	egdsim -ssets 100 -gens 20000 -mixed -error 0.01 -checkpoint pop.ckpt
+//	egdviz -in pop.ckpt -ppm fig2.ppm
+//	egdviz -run -ssets 64 -gens 5000        # fresh scaled Fig. 2 run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/strategy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "egdviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in       = flag.String("in", "", "checkpoint file to visualise")
+		doRun    = flag.Bool("run", false, "run a fresh scaled Fig. 2 validation instead of loading a checkpoint")
+		ssets    = flag.Int("ssets", 64, "SSets for -run")
+		gens     = flag.Int("gens", 5000, "generations for -run")
+		seed     = flag.Uint64("seed", 1, "seed for -run and clustering")
+		k        = flag.Int("k", 8, "k-means cluster count")
+		ppmPath  = flag.String("ppm", "", "write the population map as a PPM image to this file")
+		cellSize = flag.Int("cell", 4, "PPM pixels per strategy-table cell")
+		maxRows  = flag.Int("rows", 64, "ASCII map row cap (0 = all)")
+		noSort   = flag.Bool("nosort", false, "do not reorder rows by cluster (initial-population view)")
+	)
+	flag.Parse()
+
+	var strategies []strategy.Strategy
+	var memory int
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		snap, err := checkpoint.Read(f)
+		if err != nil {
+			return err
+		}
+		strategies = snap.Strategies
+		memory = snap.Memory
+		fmt.Printf("loaded checkpoint: generation %d, %d SSets, memory-%d\n",
+			snap.Generation, len(strategies), memory)
+	case *doRun:
+		cfg := core.WSLSValidationConfig(*ssets, *gens, *seed)
+		out, err := core.RunWSLSValidation(cfg, *k)
+		if err != nil {
+			return err
+		}
+		strategies = out.Result.Final
+		memory = cfg.Memory
+		fmt.Printf("fresh run: %d SSets, %d generations; WSLS fraction %.3f\n",
+			*ssets, *gens, out.WSLSFraction)
+	default:
+		flag.Usage()
+		return fmt.Errorf("need -in FILE or -run")
+	}
+	if len(strategies) == 0 {
+		return fmt.Errorf("no strategies to visualise")
+	}
+
+	// Cluster and reorder rows so prevalent strategies band together, the
+	// presentation Fig. 2(b) uses.
+	kk := *k
+	if kk > len(strategies) {
+		kk = len(strategies)
+	}
+	km, err := cluster.KMeans(cluster.StrategyVectors(strategies), kk, 100, rng.New(*seed^0xF16))
+	if err != nil {
+		return err
+	}
+	order := make([]int, len(strategies))
+	for i := range order {
+		order[i] = i
+	}
+	if !*noSort {
+		sort.SliceStable(order, func(a, b int) bool {
+			ca, cb := km.Assign[order[a]], km.Assign[order[b]]
+			if km.Sizes[ca] != km.Sizes[cb] {
+				return km.Sizes[ca] > km.Sizes[cb]
+			}
+			return ca < cb
+		})
+	}
+	sorted := make([]strategy.Strategy, len(strategies))
+	for i, idx := range order {
+		sorted[i] = strategies[idx]
+	}
+
+	idx, frac := km.DominantCluster()
+	sp := strategy.NewSpace(memory)
+	rounded, err := cluster.RoundCentroid(km.Centroids[idx], sp)
+	if err != nil {
+		return err
+	}
+	label := rounded.String()
+	if rounded.Equal(strategy.WSLS(sp)) {
+		label += " (WSLS)"
+	}
+	fmt.Printf("dominant cluster: %.1f%% of SSets, centroid rounds to %s\n", 100*frac, label)
+	fmt.Printf("cluster sizes: %v (inertia %.3f, %d Lloyd iterations)\n", km.Sizes, km.Inertia, km.Iterations)
+
+	fmt.Println("population map (rows = SSets by cluster, cols = states; '.'=C '#'=D):")
+	fmt.Print(core.AsciiMap(sorted, *maxRows))
+
+	if *ppmPath != "" {
+		f, err := os.Create(*ppmPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := core.WritePPM(f, sorted, *cellSize); err != nil {
+			return err
+		}
+		fmt.Printf("image -> %s\n", *ppmPath)
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+// Package egd is the public face of a massively parallel framework for
+// evolutionary game dynamics, reproducing "Massively Parallel Model of
+// Evolutionary Game Dynamics" (Peters Randles et al., SC 2012).
+//
+// The framework models populations of Strategy Sets (SSets) — groups of
+// agents sharing one memory-n Iterated Prisoner's Dilemma strategy, n up to
+// six (4096 game states, 2^4096 pure strategies) — evolved by a Nature
+// Agent through Fermi pairwise-comparison learning and random mutation. The
+// parallel engine decomposes the work exactly as the paper's Blue Gene
+// implementation does: rank 0 is the Nature Agent, the remaining ranks own
+// block-distributed SSets, game play is communication-free, and population
+// dynamics travel over broadcast and point-to-point messages (here, a
+// goroutine-backed MPI-like runtime).
+//
+// Quick start:
+//
+//	cfg := egd.Config{Memory: 1, SSets: 64, Generations: 2000, Seed: 1}
+//	res, err := egd.Run(cfg)
+//
+// Advanced users (custom observers, checkpointing, the performance model)
+// can use the internal packages directly; this package covers the common
+// flows with a flat, stable surface.
+package egd
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+)
+
+// Config parameterises a simulation run. Zero values select the paper's
+// defaults where one exists (see field comments).
+type Config struct {
+	// Memory is the strategy depth n in [1,6]. Required.
+	Memory int
+	// SSets is the number of Strategy Sets. Required (>= 2).
+	SSets int
+	// Generations is the number of evolution steps. Required (>= 0).
+	Generations int
+	// Rounds is the IPD match length (0 selects the paper's 200).
+	Rounds int
+	// ErrorRate is the per-move execution error probability (paper §III-E).
+	ErrorRate float64
+	// PCRate is the pairwise-comparison rate (0 selects the paper's 0.10;
+	// use NoPC to disable learning entirely).
+	PCRate float64
+	// NoPC disables pairwise comparison (PCRate 0 means "default" because
+	// of Go zero values, so disabling needs an explicit flag).
+	NoPC bool
+	// Mu is the mutation rate (0 selects the paper's 0.05; use NoMutation
+	// to disable).
+	Mu float64
+	// NoMutation disables mutation.
+	NoMutation bool
+	// Beta is the Fermi selection intensity (0 selects 1.0).
+	Beta float64
+	// Mixed selects probabilistic strategies (the paper's Fig. 2 mode)
+	// instead of pure bit-table strategies.
+	Mixed bool
+	// Seed drives all randomness; a given seed yields an identical
+	// trajectory at any rank count.
+	Seed uint64
+	// Ranks selects the engine: 0 or 1 runs the sequential reference;
+	// >= 2 runs the parallel engine with one Nature rank plus workers.
+	Ranks int
+	// FullRecompute replays every match every generation (the paper's
+	// timing-study behaviour) instead of only on strategy change.
+	FullRecompute bool
+	// PaperFaithfulLookup uses the linear find_state search of the paper's
+	// pseudo-code in the game inner loop (slower; for ablations).
+	PaperFaithfulLookup bool
+	// ExactPayoffs evaluates match-ups by the exact infinite-game Markov
+	// payoff instead of sampling Rounds-round matches — the evaluation of
+	// the original Nowak-Sigmund study. Removes all game sampling noise.
+	ExactPayoffs bool
+	// UnconditionalFermi drops the paper-text's teacher-strictly-better
+	// gate and uses the standard Fermi process (Traulsen et al., the
+	// paper's citation [15]): the learner may adopt a worse-scoring
+	// teacher with probability below 1/2. This near-neutral drift is what
+	// lets reciprocators bootstrap out of all-defect populations; the
+	// Fig. 2 WSLS validation uses it.
+	UnconditionalFermi bool
+}
+
+func (c Config) toSim() sim.Config {
+	cfg := sim.DefaultConfig(c.Memory, c.SSets)
+	cfg.Generations = c.Generations
+	if c.Rounds > 0 {
+		cfg.Rules.Rounds = c.Rounds
+	}
+	cfg.Rules.ErrorRate = c.ErrorRate
+	if c.PCRate > 0 {
+		cfg.PCRate = c.PCRate
+	}
+	if c.NoPC {
+		cfg.PCRate = 0
+	}
+	if c.Mu > 0 {
+		cfg.Mu = c.Mu
+	}
+	if c.NoMutation {
+		cfg.Mu = 0
+	}
+	if c.Beta > 0 {
+		cfg.Beta = c.Beta
+	}
+	if c.Mixed {
+		cfg.Kind = sim.MixedStrategies
+	}
+	cfg.Seed = c.Seed
+	cfg.FullRecompute = c.FullRecompute
+	cfg.UseSearchEngine = c.PaperFaithfulLookup
+	cfg.ExactPayoffs = c.ExactPayoffs
+	cfg.AllowWorseAdoption = c.UnconditionalFermi
+	return cfg
+}
+
+// SeriesPoint is one sampled (generation, value) observation.
+type SeriesPoint struct {
+	Generation int
+	Value      float64
+}
+
+// Result summarises a run.
+type Result struct {
+	// Strategies holds each SSet's final strategy as its response string:
+	// pure strategies as 0/1 over states ("0110" = memory-one WSLS), mixed
+	// strategies as their nearest pure prefixed with '~'.
+	Strategies []string
+	// Fitness holds each SSet's final relative fitness (mean per-round
+	// payoff over all opponents: 1 = all-defect, 3 = full cooperation
+	// under the standard payoff).
+	Fitness []float64
+	// WSLSFraction is the share of final SSets whose strategy rounds to
+	// Win-Stay Lose-Shift (the paper's Fig. 2 readout).
+	WSLSFraction float64
+	// DistinctStrategies counts distinct final strategies.
+	DistinctStrategies int
+	// MeanFitness samples population mean fitness over the run.
+	MeanFitness []SeriesPoint
+	// Cooperation samples the population mean cooperation probability.
+	Cooperation []SeriesPoint
+	// GamesPlayed, PCEvents, Adoptions, Mutations tally the run's work.
+	GamesPlayed uint64
+	PCEvents    uint64
+	Adoptions   uint64
+	Mutations   uint64
+	// Elapsed is wall-clock duration; Ranks is the engine width used.
+	Elapsed time.Duration
+	Ranks   int
+}
+
+// Run executes the simulation described by cfg, sequentially (Ranks <= 1)
+// or on the parallel engine (Ranks >= 2). Identical seeds give identical
+// trajectories regardless of Ranks.
+func Run(cfg Config) (*Result, error) {
+	simCfg := cfg.toSim()
+	var (
+		res *sim.Result
+		err error
+	)
+	if cfg.Ranks >= 2 {
+		res, err = sim.RunParallel(simCfg, cfg.Ranks)
+	} else {
+		res, err = sim.RunSequential(simCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(simCfg, res), nil
+}
+
+func convertResult(cfg sim.Config, res *sim.Result) *Result {
+	sp := strategy.NewSpace(cfg.Memory)
+	out := &Result{
+		Fitness:      res.FinalFitness,
+		WSLSFraction: res.FractionNear(strategy.WSLS(sp)),
+		GamesPlayed:  res.Counters.GamesPlayed,
+		PCEvents:     res.Counters.PCEvents,
+		Adoptions:    res.Counters.Adoptions,
+		Mutations:    res.Counters.Mutations,
+		Elapsed:      res.Elapsed,
+		Ranks:        res.Ranks,
+	}
+	out.Strategies = make([]string, len(res.Final))
+	for i, s := range res.Final {
+		switch v := s.(type) {
+		case *strategy.Pure:
+			out.Strategies[i] = v.String()
+		case *strategy.Mixed:
+			out.Strategies[i] = "~" + v.NearestPure().String()
+		}
+	}
+	out.DistinctStrategies = res.FinalAbundance().Distinct()
+	out.MeanFitness = seriesPoints(res.MeanFitness.Len(), res.MeanFitness.At)
+	out.Cooperation = seriesPoints(res.Cooperation.Len(), res.Cooperation.At)
+	return out
+}
+
+func seriesPoints(n int, at func(int) (int, float64)) []SeriesPoint {
+	out := make([]SeriesPoint, n)
+	for i := range out {
+		g, v := at(i)
+		out[i] = SeriesPoint{Generation: g, Value: v}
+	}
+	return out
+}
+
+// Standing is one entrant's record in a classic-strategy tournament.
+type Standing struct {
+	// Name is the classic strategy's name (TFT, WSLS, ...).
+	Name string
+	// Score is the total payoff over all matches.
+	Score float64
+	// MeanPayoff is the per-round mean payoff.
+	MeanPayoff float64
+	// Cooperation is the fraction of the entrant's own moves that were C.
+	Cooperation float64
+}
+
+// ClassicTournament plays an Axelrod-style round robin among the classic
+// strategies (ALLC, ALLD, TFT, WSLS, GRIM, GTFT, and TF2T at memory >= 2)
+// at the given memory depth and execution-error rate, returning standings
+// best-first.
+func ClassicTournament(memory int, errorRate float64, repeats int, seed uint64) ([]Standing, error) {
+	if memory < 1 || memory > strategy.MaxMemory {
+		return nil, fmt.Errorf("egd: memory %d out of [1,%d]", memory, strategy.MaxMemory)
+	}
+	sp := strategy.NewSpace(memory)
+	names := []string{"ALLC", "ALLD", "TFT", "WSLS", "GRIM", "GTFT"}
+	if memory >= 2 {
+		names = append(names, "TF2T")
+	}
+	entrants := make([]game.Entrant, 0, len(names))
+	for _, n := range names {
+		s, err := strategy.Named(n, sp)
+		if err != nil {
+			return nil, err
+		}
+		entrants = append(entrants, game.Entrant{Name: n, Strategy: s})
+	}
+	rules := game.DefaultRules()
+	rules.ErrorRate = errorRate
+	standings, err := game.Tournament(rules, entrants, repeats, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Standing, len(standings))
+	for i, s := range standings {
+		out[i] = Standing{Name: s.Name, Score: s.TotalScore, MeanPayoff: s.MeanPayoff, Cooperation: s.Cooperation}
+	}
+	return out, nil
+}
+
+// PaperTables renders the paper's analytic tables (I, III, IV, VIII) as
+// formatted text keyed by name.
+func PaperTables() map[string]string {
+	return map[string]string{
+		"table1": core.TableI().Format(),
+		"table3": core.TableIII().Format(),
+		"table4": core.TableIV().Format(),
+		"table8": core.TableVIII([]int{1024, 2048, 4096, 8192, 16384, 32768}, []int{256, 512, 1024, 2048}).Format(),
+	}
+}
+
+// ScalingTables renders the paper's modelled scaling artefacts (Table VI,
+// Table VII, Figures 3-7) as formatted text keyed by name, using the
+// paper-anchored calibration.
+func ScalingTables() (map[string]string, error) {
+	cal := core.DefaultCalibration()
+	out := map[string]string{}
+	add := func(name string, tbl *core.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		out[name] = tbl.Format()
+		return nil
+	}
+	t6, err := core.TableVI(cal)
+	if err := add("table6", t6, err); err != nil {
+		return nil, err
+	}
+	t7, err := core.TableVII(cal)
+	if err := add("table7", t7, err); err != nil {
+		return nil, err
+	}
+	f3, err := core.Fig3(cal)
+	if err := add("fig3", f3, err); err != nil {
+		return nil, err
+	}
+	f4, err := core.Fig4(cal, 2048)
+	if err := add("fig4", f4, err); err != nil {
+		return nil, err
+	}
+	f5, err := core.Fig5(cal)
+	if err := add("fig5", f5, err); err != nil {
+		return nil, err
+	}
+	f6, err := core.Fig6(cal)
+	if err := add("fig6", f6, err); err != nil {
+		return nil, err
+	}
+	f7, err := core.Fig7(cal, true)
+	if err := add("fig7", f7, err); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

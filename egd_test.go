@@ -1,0 +1,216 @@
+package egd
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickConfig() Config {
+	return Config{Memory: 1, SSets: 10, Generations: 50, Rounds: 20, Seed: 1}
+}
+
+func TestRunSequential(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Strategies) != 10 || len(res.Fitness) != 10 {
+		t.Fatalf("sizes: %d strategies, %d fitness", len(res.Strategies), len(res.Fitness))
+	}
+	for i, s := range res.Strategies {
+		if len(s) != 4 {
+			t.Fatalf("strategy %d = %q, want 4-state response string", i, s)
+		}
+	}
+	if res.Ranks != 1 {
+		t.Fatalf("ranks = %d", res.Ranks)
+	}
+	if res.GamesPlayed == 0 {
+		t.Fatal("no games played")
+	}
+	if len(res.MeanFitness) == 0 || len(res.Cooperation) == 0 {
+		t.Fatal("series empty")
+	}
+	if res.DistinctStrategies < 1 || res.DistinctStrategies > 10 {
+		t.Fatalf("distinct = %d", res.DistinctStrategies)
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	cfg := quickConfig()
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ranks = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Ranks != 4 {
+		t.Fatalf("ranks = %d", par.Ranks)
+	}
+	for i := range seq.Strategies {
+		if seq.Strategies[i] != par.Strategies[i] {
+			t.Fatalf("strategy %d differs: %s vs %s", i, seq.Strategies[i], par.Strategies[i])
+		}
+	}
+	if seq.GamesPlayed != par.GamesPlayed || seq.Adoptions != par.Adoptions {
+		t.Fatal("counters differ between engines")
+	}
+}
+
+func TestRunMixedMarksStrategies(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Mixed = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Strategies {
+		if !strings.HasPrefix(s, "~") {
+			t.Fatalf("mixed strategy rendered as %q, want ~prefix", s)
+		}
+	}
+}
+
+func TestConfigDefaultsAndFlags(t *testing.T) {
+	cfg := quickConfig()
+	sc := cfg.toSim()
+	if sc.PCRate != 0.10 || sc.Mu != 0.05 || sc.Beta != 1.0 || sc.Rules.Rounds != 20 {
+		t.Fatalf("defaults wrong: %+v", sc)
+	}
+	cfg.NoPC = true
+	cfg.NoMutation = true
+	sc = cfg.toSim()
+	if sc.PCRate != 0 || sc.Mu != 0 {
+		t.Fatal("No* flags ignored")
+	}
+	cfg = quickConfig()
+	cfg.PCRate = 0.3
+	cfg.Mu = 0.2
+	cfg.Beta = 5
+	sc = cfg.toSim()
+	if sc.PCRate != 0.3 || sc.Mu != 0.2 || sc.Beta != 5 {
+		t.Fatal("explicit rates ignored")
+	}
+	cfg.PaperFaithfulLookup = true
+	if !cfg.toSim().UseSearchEngine {
+		t.Fatal("lookup flag ignored")
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if _, err := Run(Config{Memory: 0, SSets: 4, Generations: 1}); err == nil {
+		t.Fatal("memory 0 accepted")
+	}
+	if _, err := Run(Config{Memory: 1, SSets: 1, Generations: 1}); err == nil {
+		t.Fatal("1 SSet accepted")
+	}
+	if _, err := Run(Config{Memory: 1, SSets: 4, Generations: 1, Ranks: 99}); err == nil {
+		t.Fatal("too many ranks accepted")
+	}
+}
+
+func TestExactPayoffsFlag(t *testing.T) {
+	cfg := quickConfig()
+	cfg.ExactPayoffs = true
+	cfg.Mixed = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GamesPlayed == 0 {
+		t.Fatal("no evaluations in exact mode")
+	}
+	// Exact + paper-faithful lookup is contradictory and must be rejected.
+	cfg.PaperFaithfulLookup = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("exact + search lookup accepted")
+	}
+}
+
+func TestNoEvolutionWhenDisabled(t *testing.T) {
+	cfg := quickConfig()
+	cfg.NoPC = true
+	cfg.NoMutation = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PCEvents != 0 || res.Mutations != 0 || res.Adoptions != 0 {
+		t.Fatalf("evolution events despite disabling: %+v", res)
+	}
+}
+
+func TestClassicTournament(t *testing.T) {
+	standings, err := ClassicTournament(1, 0, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(standings) != 6 {
+		t.Fatalf("%d entrants at memory 1", len(standings))
+	}
+	for i := 1; i < len(standings); i++ {
+		if standings[i].Score > standings[i-1].Score {
+			t.Fatal("standings unsorted")
+		}
+	}
+	withTF2T, err := ClassicTournament(2, 0.01, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withTF2T) != 7 {
+		t.Fatalf("%d entrants at memory 2, want 7 (TF2T joins)", len(withTF2T))
+	}
+	if _, err := ClassicTournament(0, 0, 1, 1); err == nil {
+		t.Fatal("memory 0 accepted")
+	}
+	if _, err := ClassicTournament(1, 0, 0, 1); err == nil {
+		t.Fatal("0 repeats accepted")
+	}
+}
+
+func TestWSLSBeatsTFTUnderNoise(t *testing.T) {
+	standings, err := ClassicTournament(1, 0.05, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, s := range standings {
+		pos[s.Name] = i
+	}
+	if pos["WSLS"] > pos["TFT"] {
+		t.Fatalf("TFT (rank %d) beat WSLS (rank %d) under 5%% errors", pos["TFT"], pos["WSLS"])
+	}
+}
+
+func TestPaperTables(t *testing.T) {
+	tables := PaperTables()
+	for _, key := range []string{"table1", "table3", "table4", "table8"} {
+		txt, ok := tables[key]
+		if !ok || txt == "" {
+			t.Fatalf("missing %s", key)
+		}
+	}
+	if !strings.Contains(tables["table4"], "2^4096") {
+		t.Fatal("table 4 missing memory-six count")
+	}
+}
+
+func TestScalingTables(t *testing.T) {
+	tables, err := ScalingTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"table6", "table7", "fig3", "fig4", "fig5", "fig6", "fig7"} {
+		txt, ok := tables[key]
+		if !ok || txt == "" {
+			t.Fatalf("missing %s", key)
+		}
+	}
+	// The modelled Table VI anchor: memory-one at P=128 is 26.5s.
+	if !strings.Contains(tables["table6"], "26.5") {
+		t.Fatalf("table6 lost the paper anchor:\n%s", tables["table6"])
+	}
+}

@@ -1,0 +1,119 @@
+// Memoryscaling: the mechanism behind the paper's Table VI and Fig. 4,
+// measured on this machine. The per-round cost of the paper-faithful
+// find_state lookup grows with the 4^n-entry state table, so deeper memory
+// makes whole simulations dramatically slower while the optimised direct
+// index barely notices; and on the parallel engine, deeper memory improves
+// parallel efficiency because computation grows while communication does
+// not (the paper's Fig. 3 observation).
+//
+//	go run ./examples/memoryscaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+)
+
+func timeMatches(mem int, useSearch bool, n int) time.Duration {
+	sp := strategy.NewSpace(mem)
+	master := rng.New(7)
+	s0 := strategy.RandomPure(sp, master)
+	s1 := strategy.RandomPure(sp, master)
+	rules := game.DefaultRules()
+	var eng *game.SearchEngine
+	if useSearch {
+		eng = game.NewSearchEngine(sp)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if eng != nil {
+			eng.Play(rules, s0, s1, master)
+		} else {
+			game.Play(rules, s0, s1, master)
+		}
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+func main() {
+	fmt.Println("per-match cost vs memory depth (200-round IPD, this host):")
+	fmt.Printf("  %-8s %14s %14s %8s\n", "memory", "direct-index", "find_state", "ratio")
+	var base time.Duration
+	for mem := 1; mem <= 6; mem++ {
+		reps := 2000 >> uint(mem) // keep total time bounded
+		if reps < 5 {
+			reps = 5
+		}
+		direct := timeMatches(mem, false, reps)
+		search := timeMatches(mem, true, reps)
+		if mem == 1 {
+			base = search
+		}
+		fmt.Printf("  memory-%d %14v %14v %7.1fx\n", mem, direct, search, float64(search)/float64(base))
+	}
+	fmt.Println()
+	fmt.Println("the find_state column is the paper's Fig. 4 growth: the state table")
+	fmt.Println("has 4^n entries and each round scans it; the direct index is the")
+	fmt.Println("ablation showing the lookup, not the game itself, is what scales.")
+	fmt.Println()
+
+	// Whole-simulation view (Table VI's rows, scaled to this host): fixed
+	// population, paper timing mode, increasing memory.
+	fmt.Println("full simulation runtime vs memory (32 SSets, 20 generations, full recompute):")
+	for _, mem := range []int{1, 2, 3, 4, 5, 6} {
+		cfg := sim.DefaultConfig(mem, 32)
+		cfg.Generations = 20
+		cfg.PCRate = 0.01
+		cfg.FullRecompute = true
+		cfg.Seed = 1
+		res, err := sim.RunSequential(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  memory-%d: %10v  (%d matches)\n", mem, res.Elapsed.Round(time.Millisecond), res.Counters.GamesPlayed)
+	}
+	fmt.Println()
+
+	// Parallel efficiency vs memory (Fig. 3's observation) on real ranks.
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	if workers < 2 {
+		fmt.Println("single-CPU host: goroutine ranks interleave on one core, so")
+		fmt.Println("measured speedup is not meaningful here. On a multicore host this")
+		fmt.Println("section reports real parallel-engine speedup (see also")
+		fmt.Println("`egdscale -measure`); engine correctness across rank counts is")
+		fmt.Println("established by the bit-exact parity tests in internal/sim.")
+		return
+	}
+	fmt.Printf("parallel engine speedup with %d workers (vs 1 worker):\n", workers)
+	for _, mem := range []int{1, 6} {
+		cfg := sim.DefaultConfig(mem, 64)
+		cfg.Generations = 10
+		cfg.PCRate = 0.01
+		cfg.FullRecompute = true
+		cfg.Rules.Rounds = 100
+		cfg.Seed = 2
+		one, err := sim.RunParallel(cfg, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		many, err := sim.RunParallel(cfg, workers+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  memory-%d: %6.2fx (%.3fs -> %.3fs)\n",
+			mem, one.Elapsed.Seconds()/many.Elapsed.Seconds(),
+			one.Elapsed.Seconds(), many.Elapsed.Seconds())
+	}
+	fmt.Println("deeper memory gives the workers more computation per broadcast,")
+	fmt.Println("so efficiency holds or improves — the paper's Fig. 3.")
+}

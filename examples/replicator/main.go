@@ -1,0 +1,114 @@
+// Replicator: the Fig. 2 mechanism derived with exact payoffs — the
+// analytic method of Nowak & Sigmund, whose study the paper's validation
+// reproduces. Strategy *frequencies* evolve by deterministic replicator
+// dynamics; every pairing's payoff comes from the exact Markov stationary
+// distribution (internal/analysis), so there is no sampling noise at all.
+//
+// Two runs. The classic seeded competition — ALLC, ALLD, TFT, GTFT, GRIM,
+// WSLS at equal shares under 1% execution errors — plays out the famous
+// sequence: defectors feast on unconditional cooperators, reciprocators
+// then starve the defectors, and once cooperation is re-established
+// Win-Stay Lose-Shift out-earns Tit-For-Tat (which noise locks into
+// vendettas) and takes the population. The second run starts from random
+// strategies and shows why the *stochastic finite-population* dynamics of
+// the agent engine matter: the deterministic limit has no drift, so a
+// random soup collapses into a defecting trap and stays there — exactly the
+// bootstrap problem the paper's pairwise-comparison process solves.
+//
+//	go run ./examples/replicator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/replicator"
+	"repro/internal/strategy"
+)
+
+func report(pop *replicator.Population, gen int, wsls *strategy.Pure) {
+	fmt.Printf("%10d %7d %7.3f %9.3f %7.1f%%\n",
+		gen, len(pop.Atoms()), pop.MeanCooperation(), pop.MeanFitness(), 100*pop.FractionNear(wsls))
+}
+
+func main() {
+	var (
+		gens = flag.Int("gens", 4000, "replicator generations per run")
+		seed = flag.Uint64("seed", 4, "mutant-stream seed")
+	)
+	flag.Parse()
+
+	sp := strategy.NewSpace(1)
+	wsls := strategy.WSLS(sp)
+
+	// Run 1: the classic field under errors, pure selection.
+	fmt.Println("run 1: classic strategies at equal frequency, 1% errors, exact payoffs")
+	fmt.Printf("%10s %7s %7s %9s %8s\n", "generation", "atoms", "coop", "meanPay", "WSLS")
+	cfg := replicator.Config{
+		ErrorRate:   0.01,
+		Atoms:       6,
+		Generations: *gens,
+		MutateEvery: 0, // pure selection
+		Selection:   1.0,
+		Seed:        *seed,
+	}
+	seedStrategies := []strategy.Strategy{
+		strategy.AllC(sp), strategy.AllD(sp), strategy.TFT(sp),
+		strategy.GTFT(sp, 1.0/3.0), strategy.Grim(sp), strategy.WSLS(sp),
+	}
+	pop, err := replicator.NewFromStrategies(cfg, seedStrategies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	step := max(1, *gens/10)
+	err = pop.Run(func(gen int, p *replicator.Population) {
+		if gen%step == 0 {
+			report(p, gen, wsls)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dom := pop.DominantAtom()
+	fmt.Printf("winner: %s at %.1f%% — WSLS share %.1f%% (mean payoff %.3f)\n\n",
+		dom.Strategy, 100*dom.Freq, 100*pop.FractionNear(wsls), pop.MeanFitness())
+
+	// Run 2: random soup, mutants allowed — the deterministic trap.
+	fmt.Println("run 2: random mixed strategies + rare mutants (deterministic limit)")
+	fmt.Printf("%10s %7s %7s %9s %8s\n", "generation", "atoms", "coop", "meanPay", "WSLS")
+	cfg2 := replicator.Config{
+		ErrorRate:   0.01,
+		Atoms:       20,
+		Generations: *gens,
+		MutantFreq:  0.002,
+		MutateEvery: 50,
+		Selection:   1.0,
+		Seed:        *seed,
+	}
+	pop2, err := replicator.New(cfg2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = pop2.Run(func(gen int, p *replicator.Population) {
+		if gen%step == 0 {
+			report(p, gen, wsls)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dom2 := pop2.DominantAtom()
+	var nearest string
+	if m, ok := dom2.Strategy.(*strategy.Mixed); ok {
+		nearest = m.NearestPure().String()
+	}
+	fmt.Printf("winner: rounds to %s at %.1f%% (mean payoff %.3f)\n\n", nearest, 100*dom2.Freq, pop2.MeanFitness())
+
+	fmt.Println("run 1 shows the paper's validation mechanism with zero noise: under")
+	fmt.Println("errors, WSLS absorbs the population once defectors starve. run 2 shows")
+	fmt.Println("why finite-population stochastic dynamics (the agent engine, and the")
+	fmt.Println("paper's Blue Gene runs) are needed from a cold start: deterministic")
+	fmt.Println("replication cannot drift out of the defecting trap, while the Fermi")
+	fmt.Println("pairwise-comparison process can — see examples/wsls.")
+}

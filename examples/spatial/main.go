@@ -1,0 +1,87 @@
+// Spatial: lattice-structured evolutionary games — the spatialised
+// Prisoner's Dilemma the paper cites as the origin of its learning
+// dynamics ([30]), in Nowak & May's classic form. A lone defector in a sea
+// of cooperators grows an exactly symmetric kaleidoscope; random lattices
+// in the chaos window converge to the famous ~0.318 cooperator fraction;
+// and on the repeated-game lattice a small island of Tit-For-Tat holds out
+// against ALLD — space protects cooperation where well-mixed populations
+// cannot.
+//
+//	go run ./examples/spatial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/game"
+	"repro/internal/spatial"
+	"repro/internal/strategy"
+)
+
+func main() {
+	var (
+		frames = flag.Int("frames", 3, "kaleidoscope frames to print")
+		size   = flag.Int("size", 49, "kaleidoscope lattice size (odd)")
+	)
+	flag.Parse()
+
+	// Part 1: the kaleidoscope.
+	fmt.Printf("Nowak-May kaleidoscope: lone defector at b=1.85 on a %dx%d lattice\n\n", *size, *size)
+	l, err := spatial.NewBinary(*size, *size, 1.85, 1.0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l.SetCell(*size/2, *size/2, false)
+	for f := 0; f < *frames; f++ {
+		l.Run(5)
+		fmt.Printf("generation %d, cooperation %.3f:\n%s\n", l.Generation(), l.CoopFraction(), l.Ascii())
+	}
+
+	// Part 2: the asymptote.
+	fmt.Println("chaos-window asymptote (100x100, b=1.9):")
+	// Very fragmented starts can collapse before clusters form (cooperation
+	// needs a seed cluster to survive); moderately cooperative starts show
+	// the universal asymptote.
+	for _, start := range []float64{0.9, 0.6} {
+		lat, err := spatial.NewBinary(100, 100, 1.9, start, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lat.Run(150)
+		fmt.Printf("  start %.0f%% cooperators -> long-run %.3f (literature: ~0.318)\n",
+			100*start, lat.CoopFraction())
+	}
+	fmt.Println()
+
+	// Part 3: the repeated-game lattice.
+	fmt.Println("spatial IPD: a 4x4 TFT island inside a 16x16 ALLD lattice, imitate-best:")
+	sp := strategy.NewSpace(1)
+	cfg := spatial.IPDConfig{W: 16, H: 16, Memory: 1, Seed: 3}
+	cfg.Rules = game.DefaultRules()
+	lat, err := spatial.NewIPD(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alld, tft := strategy.AllD(sp), strategy.TFT(sp)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			lat.SetCell(x, y, alld)
+		}
+	}
+	for y := 6; y < 10; y++ {
+		for x := 6; x < 10; x++ {
+			lat.SetCell(x, y, tft)
+		}
+	}
+	for g := 0; g <= 12; g += 4 {
+		fmt.Printf("  generation %2d: TFT holds %.1f%% of the lattice\n", g, 100*lat.FractionNear(tft))
+		lat.Run(4)
+	}
+	fmt.Println()
+	fmt.Println("in a well-mixed population this island would be eaten (TFT earns less")
+	fmt.Println("than the surrounding defectors); on the lattice, TFT-TFT interior cells")
+	fmt.Println("earn R against each other and anchor the cluster — the spatial")
+	fmt.Println("reciprocity mechanism.")
+}

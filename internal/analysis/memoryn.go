@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/game"
+	"repro/internal/strategy"
+)
+
+// MarkovPayoffN returns the exact expected per-round payoffs of the
+// infinitely repeated game between two strategies of any memory depth n,
+// under execution errors. The joint process is a Markov chain over the
+// 4^n states of player 0's view; each state has only four successors (the
+// joint move), so the chain is sparse and power iteration costs O(4^n)
+// per step even at memory six.
+//
+// As with the memory-one MarkovPayoff, fully deterministic play is resolved
+// exactly by cycle detection, and stochastic play by burn-in plus Cesàro
+// averaging from the all-cooperate initial state.
+func MarkovPayoffN(payoff game.Payoff, s0, s1 strategy.Strategy, errRate float64) (pi0, pi1 float64, err error) {
+	sp := s0.Space()
+	if s1.Space() != sp {
+		return 0, 0, fmt.Errorf("analysis: mismatched strategy spaces")
+	}
+	if errRate < 0 || errRate > 1 {
+		return 0, 0, fmt.Errorf("analysis: error rate %v out of [0,1]", errRate)
+	}
+	n := sp.NumStates()
+
+	// Per-state effective cooperation probabilities for both players.
+	p0 := make([]float64, n)
+	p1 := make([]float64, n)
+	deterministic := true
+	for s := 0; s < n; s++ {
+		p0[s] = effectiveCoopProb(s0, uint32(s), errRate)
+		p1[s] = effectiveCoopProb(s1, sp.Opposing(uint32(s)), errRate)
+		if (p0[s] != 0 && p0[s] != 1) || (p1[s] != 0 && p1[s] != 1) {
+			deterministic = false
+		}
+	}
+
+	// successor[s][m] is the next state from s under joint move m
+	// (m = my<<1|opp).
+	succ := make([][4]uint32, n)
+	for s := 0; s < n; s++ {
+		for m := 0; m < 4; m++ {
+			succ[s][m] = sp.NextState(uint32(s), strategy.Move(m>>1), strategy.Move(m&1))
+		}
+	}
+	perState0 := [4]float64{payoff.R, payoff.S, payoff.T, payoff.P}
+	perState1 := [4]float64{payoff.R, payoff.T, payoff.S, payoff.P}
+	// movePr returns the probability of joint move m in state s.
+	movePr := func(s, m int) float64 {
+		pm := p0[s]
+		if m>>1 == 1 {
+			pm = 1 - p0[s]
+		}
+		po := p1[s]
+		if m&1 == 1 {
+			po = 1 - p1[s]
+		}
+		return pm * po
+	}
+
+	if deterministic {
+		// Exact cycle detection on the joint-state walk.
+		seen := make(map[uint32]int, 64)
+		var path []uint32
+		st := sp.InitialState()
+		for {
+			if first, ok := seen[st]; ok {
+				var c0, c1 float64
+				cycle := path[first:]
+				for _, cs := range cycle {
+					m := deterministicMove(p0[cs])<<1 | deterministicMove(p1[cs])
+					c0 += perState0[m]
+					c1 += perState1[m]
+				}
+				return c0 / float64(len(cycle)), c1 / float64(len(cycle)), nil
+			}
+			seen[st] = len(path)
+			path = append(path, st)
+			m := deterministicMove(p0[st])<<1 | deterministicMove(p1[st])
+			st = succ[st][m]
+		}
+	}
+
+	// Stochastic: sparse power iteration with early convergence, then
+	// Cesàro averaging if the chain is slow-mixing.
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[sp.InitialState()] = 1
+	step := func() {
+		for i := range next {
+			next[i] = 0
+		}
+		for s := 0; s < n; s++ {
+			if cur[s] == 0 {
+				continue
+			}
+			for m := 0; m < 4; m++ {
+				if pr := movePr(s, m); pr > 0 {
+					next[succ[s][m]] += cur[s] * pr
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	expected := func(dist []float64) (e0, e1 float64) {
+		for s := 0; s < n; s++ {
+			if dist[s] == 0 {
+				continue
+			}
+			for m := 0; m < 4; m++ {
+				pr := movePr(s, m)
+				e0 += dist[s] * pr * perState0[m]
+				e1 += dist[s] * pr * perState1[m]
+			}
+		}
+		return e0, e1
+	}
+
+	const burnin = 1 << 13
+	for t := 0; t < burnin; t++ {
+		prev := append([]float64(nil), cur...)
+		step()
+		if t%16 == 15 {
+			d := 0.0
+			for i := range cur {
+				d += math.Abs(cur[i] - prev[i])
+			}
+			if d < 1e-13 {
+				pi0, pi1 = expected(cur)
+				return pi0, pi1, nil
+			}
+		}
+	}
+	var a0, a1 float64
+	const horizon = 1 << 15
+	for t := 0; t < horizon; t++ {
+		e0, e1 := expected(cur)
+		a0 += e0
+		a1 += e1
+		step()
+	}
+	return a0 / horizon, a1 / horizon, nil
+}
+
+func deterministicMove(coopProb float64) int {
+	if coopProb >= 1 {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+	"repro/internal/strategy"
+)
+
+func TestMarkovPayoffNMatchesMemoryOne(t *testing.T) {
+	// At memory one, the generalised chain must agree with the dense
+	// four-state implementation for random mixed strategies and errors.
+	master := rng.New(21)
+	for trial := 0; trial < 20; trial++ {
+		s0 := strategy.RandomMixed(sp1(), master)
+		s1 := strategy.RandomMixed(sp1(), master)
+		a0, a1, err := MarkovPayoff(payoff, s0, s1, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b0, b1, err := MarkovPayoffN(payoff, s0, s1, 0.02)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a0-b0) > 1e-6 || math.Abs(a1-b1) > 1e-6 {
+			t.Fatalf("trial %d: dense (%v,%v) vs sparse (%v,%v)", trial, a0, a1, b0, b1)
+		}
+	}
+}
+
+func TestMarkovPayoffNMatchesExactPure(t *testing.T) {
+	// Deterministic play at any memory: the generalised chain's cycle
+	// detection must agree with ExactPure.
+	master := rng.New(22)
+	for _, mem := range []int{1, 2, 3, 4, 6} {
+		sp := strategy.NewSpace(mem)
+		for trial := 0; trial < 5; trial++ {
+			s0 := strategy.RandomPure(sp, master)
+			s1 := strategy.RandomPure(sp, master)
+			a0, a1, err := ExactPure(payoff, s0, s1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b0, b1, err := MarkovPayoffN(payoff, s0, s1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a0 != b0 || a1 != b1 {
+				t.Fatalf("memory %d trial %d: (%v,%v) vs (%v,%v)", mem, trial, a0, a1, b0, b1)
+			}
+		}
+	}
+}
+
+func TestMarkovPayoffNHigherMemoryWithErrors(t *testing.T) {
+	// Memory-two WSLS self-play under errors must stay near R (the same
+	// error-correction property as memory one), validated against a long
+	// sampled game.
+	sp := strategy.NewSpace(2)
+	wsls := strategy.WSLS(sp)
+	e0, e1, err := MarkovPayoffN(payoff, wsls, wsls, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e0-e1) > 1e-9 {
+		t.Fatalf("symmetric self-play asymmetric: %v vs %v", e0, e1)
+	}
+	if e0 < 2.85 {
+		t.Fatalf("memory-2 WSLS self-play payoff %v, want near 3", e0)
+	}
+	rules := game.DefaultRules()
+	rules.Rounds = 400000
+	rules.ErrorRate = 0.01
+	res := game.Play(rules, wsls, wsls, rng.New(5))
+	if math.Abs(res.Mean0()-e0) > 0.02 {
+		t.Fatalf("sampled %v vs exact %v", res.Mean0(), e0)
+	}
+}
+
+func TestMarkovPayoffNRandomMixedMemoryThreeMatchesSampled(t *testing.T) {
+	sp := strategy.NewSpace(3)
+	master := rng.New(23)
+	s0 := strategy.RandomMixed(sp, master)
+	s1 := strategy.RandomMixed(sp, master)
+	e0, e1, err := MarkovPayoffN(payoff, s0, s1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := game.DefaultRules()
+	rules.Rounds = 400000
+	rules.ErrorRate = 0.05
+	res := game.Play(rules, s0, s1, master)
+	if math.Abs(res.Mean0()-e0) > 0.02 || math.Abs(res.Mean1()-e1) > 0.02 {
+		t.Fatalf("sampled (%v,%v) vs exact (%v,%v)", res.Mean0(), res.Mean1(), e0, e1)
+	}
+}
+
+func TestMarkovPayoffNValidation(t *testing.T) {
+	if _, _, err := MarkovPayoffN(payoff, strategy.AllC(sp1()), strategy.AllC(strategy.NewSpace(2)), 0); err == nil {
+		t.Fatal("mismatched spaces accepted")
+	}
+	if _, _, err := MarkovPayoffN(payoff, strategy.AllC(sp1()), strategy.AllC(sp1()), -0.1); err == nil {
+		t.Fatal("negative error rate accepted")
+	}
+}
+
+func TestMarkovPayoffNMemorySixDeterministic(t *testing.T) {
+	// Memory six, deterministic: should terminate promptly via cycle
+	// detection over at most 4096 joint states.
+	sp := strategy.NewSpace(6)
+	master := rng.New(24)
+	s0 := strategy.RandomPure(sp, master)
+	s1 := strategy.RandomPure(sp, master)
+	pi0, pi1, err := MarkovPayoffN(payoff, s0, s1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi0 < 0 || pi0 > 4 || pi1 < 0 || pi1 > 4 {
+		t.Fatalf("payoffs out of range: %v, %v", pi0, pi1)
+	}
+}
+
+func BenchmarkMarkovPayoffNMemory6Stochastic(b *testing.B) {
+	sp := strategy.NewSpace(6)
+	master := rng.New(25)
+	s0 := strategy.RandomMixed(sp, master)
+	s1 := strategy.RandomMixed(sp, master)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MarkovPayoffN(payoff, s0, s1, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

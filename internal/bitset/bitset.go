@@ -1,0 +1,258 @@
+// Package bitset implements a dense, fixed-length bit vector.
+//
+// Pure memory-n strategies are points in {C,D}^(4^n); for memory-six that is
+// a 4096-bit vector. The simulation stores, copies, mutates, compares, and
+// serializes millions of these, so the representation is 64-bit words with
+// O(words) bulk operations.
+package bitset
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-length sequence of bits. The zero value is an empty
+// (length-0) bitset; use New for a sized one.
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// New returns a Bitset of n bits, all zero. It panics if n < 0.
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative length")
+	}
+	return &Bitset{n: n, words: make([]uint64, wordsFor(n))}
+}
+
+func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// FromWords builds a Bitset of n bits from the given word slice (copied).
+// Bits beyond n in the last word are cleared. It panics if the slice is too
+// short for n bits.
+func FromWords(n int, words []uint64) *Bitset {
+	if len(words) < wordsFor(n) {
+		panic("bitset: FromWords slice too short")
+	}
+	b := New(n)
+	copy(b.words, words[:wordsFor(n)])
+	b.trim()
+	return b
+}
+
+// trim clears any bits beyond the logical length in the last word so that
+// Equal, Hamming, and Count stay exact.
+func (b *Bitset) trim() {
+	if b.n%wordBits != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << uint(b.n%wordBits)) - 1
+	}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Words returns the underlying words (not a copy). The caller must not
+// modify bits beyond Len.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (b *Bitset) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: Get(%d) out of range [0,%d)", i, b.n))
+	}
+	return b.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Set sets bit i to v. It panics if i is out of range.
+func (b *Bitset) Set(i int, v bool) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: Set(%d) out of range [0,%d)", i, b.n))
+	}
+	if v {
+		b.words[i/wordBits] |= 1 << uint(i%wordBits)
+	} else {
+		b.words[i/wordBits] &^= 1 << uint(i%wordBits)
+	}
+}
+
+// Flip inverts bit i. It panics if i is out of range.
+func (b *Bitset) Flip(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: Flip(%d) out of range [0,%d)", i, b.n))
+	}
+	b.words[i/wordBits] ^= 1 << uint(i%wordBits)
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{n: b.n, words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// CopyFrom overwrites b with src. Both must have the same length.
+func (b *Bitset) CopyFrom(src *Bitset) {
+	if b.n != src.n {
+		panic("bitset: CopyFrom length mismatch")
+	}
+	copy(b.words, src.words)
+}
+
+// Equal reports whether the two bitsets have identical length and bits.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Hamming returns the number of positions at which b and o differ.
+// It panics on length mismatch.
+func (b *Bitset) Hamming(o *Bitset) int {
+	if b.n != o.n {
+		panic("bitset: Hamming length mismatch")
+	}
+	d := 0
+	for i := range b.words {
+		d += bits.OnesCount64(b.words[i] ^ o.words[i])
+	}
+	return d
+}
+
+// SetAll sets every bit.
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// ClearAll zeroes every bit.
+func (b *Bitset) ClearAll() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Fingerprint returns a 64-bit mixing hash of the contents, usable as a map
+// key component for deduplicating strategies.
+func (b *Bitset) Fingerprint() uint64 {
+	h := uint64(b.n)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	for _, w := range b.words {
+		h ^= w
+		h *= 0x100000001B3
+		h ^= h >> 29
+	}
+	return h
+}
+
+// String renders the bits as a 0/1 string, bit 0 first (matching the paper's
+// strategy tables, where column k is the move in state k).
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// ParseBits parses a 0/1 string produced by String.
+func ParseBits(s string) (*Bitset, error) {
+	b := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			b.Set(i, true)
+		default:
+			return nil, fmt.Errorf("bitset: invalid character %q at %d", s[i], i)
+		}
+	}
+	return b, nil
+}
+
+// MarshalBinary encodes the bitset as 8 bytes of little-endian length
+// followed by the words in little-endian order.
+func (b *Bitset) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8+8*len(b.words))
+	putU64(out, uint64(b.n))
+	for i, w := range b.words {
+		putU64(out[8+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes data produced by MarshalBinary.
+func (b *Bitset) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return errors.New("bitset: truncated header")
+	}
+	n := getU64(data)
+	if n > 1<<32 {
+		return fmt.Errorf("bitset: implausible length %d", n)
+	}
+	nw := wordsFor(int(n))
+	if len(data) < 8+8*nw {
+		return errors.New("bitset: truncated payload")
+	}
+	b.n = int(n)
+	b.words = make([]uint64, nw)
+	for i := range b.words {
+		b.words[i] = getU64(data[8+8*i:])
+	}
+	b.trim()
+	return nil
+}
+
+// Hex returns the words as a hex string (low word first), a compact codec
+// for logs and checkpoints.
+func (b *Bitset) Hex() string {
+	raw := make([]byte, 8*len(b.words))
+	for i, w := range b.words {
+		putU64(raw[8*i:], w)
+	}
+	return hex.EncodeToString(raw)
+}
+
+func putU64(p []byte, v uint64) {
+	_ = p[7]
+	p[0] = byte(v)
+	p[1] = byte(v >> 8)
+	p[2] = byte(v >> 16)
+	p[3] = byte(v >> 24)
+	p[4] = byte(v >> 32)
+	p[5] = byte(v >> 40)
+	p[6] = byte(v >> 48)
+	p[7] = byte(v >> 56)
+}
+
+func getU64(p []byte) uint64 {
+	_ = p[7]
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}

@@ -1,0 +1,291 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAllZero(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Count() != 0 {
+		t.Fatalf("new bitset has %d set bits", b.Count())
+	}
+	for i := 0; i < 130; i++ {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in new bitset", i)
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGetFlip(t *testing.T) {
+	b := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		b.Set(i, true)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+		b.Set(i, false)
+		if b.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+		b.Flip(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not flipped on", i)
+		}
+		b.Flip(i)
+		if b.Get(i) {
+			t.Fatalf("bit %d not flipped off", i)
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, f := range map[string]func(){
+		"Get(-1)":  func() { b.Get(-1) },
+		"Get(10)":  func() { b.Get(10) },
+		"Set(10)":  func() { b.Set(10, true) },
+		"Flip(10)": func() { b.Flip(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCount(t *testing.T) {
+	b := New(100)
+	for i := 0; i < 100; i += 3 {
+		b.Set(i, true)
+	}
+	if got, want := b.Count(), 34; got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestSetAllRespectsLength(t *testing.T) {
+	b := New(70)
+	b.SetAll()
+	if b.Count() != 70 {
+		t.Fatalf("SetAll count = %d, want 70 (tail bits must stay clear)", b.Count())
+	}
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatalf("ClearAll left %d bits", b.Count())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	b := New(64)
+	b.Set(5, true)
+	c := b.Clone()
+	c.Set(6, true)
+	if b.Get(6) {
+		t.Fatal("Clone shares storage")
+	}
+	if !c.Get(5) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(42, true)
+	b.CopyFrom(a)
+	if !b.Get(42) || b.Count() != 1 {
+		t.Fatal("CopyFrom failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom length mismatch did not panic")
+		}
+	}()
+	New(10).CopyFrom(New(11))
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(100), New(100)
+	if !a.Equal(b) {
+		t.Fatal("empty bitsets not equal")
+	}
+	a.Set(99, true)
+	if a.Equal(b) {
+		t.Fatal("different bitsets reported equal")
+	}
+	b.Set(99, true)
+	if !a.Equal(b) {
+		t.Fatal("identical bitsets reported unequal")
+	}
+	if a.Equal(New(101)) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a, b := New(128), New(128)
+	a.Set(0, true)
+	a.Set(64, true)
+	b.Set(64, true)
+	b.Set(127, true)
+	if got := a.Hamming(b); got != 2 {
+		t.Fatalf("Hamming = %d, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Hamming length mismatch did not panic")
+		}
+	}()
+	a.Hamming(New(64))
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	b := New(9)
+	b.Set(1, true)
+	b.Set(3, true)
+	if got, want := b.String(), "010100000"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	p, err := ParseBits(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(b) {
+		t.Fatal("ParseBits round trip failed")
+	}
+}
+
+func TestParseBitsRejectsJunk(t *testing.T) {
+	if _, err := ParseBits("0102"); err == nil {
+		t.Fatal("ParseBits accepted invalid character")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	b := New(130)
+	b.Set(0, true)
+	b.Set(129, true)
+	b.Set(77, true)
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Bitset
+	if err := c.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Equal(b) {
+		t.Fatal("binary round trip failed")
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	var b Bitset
+	if err := b.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	good, _ := New(128).MarshalBinary()
+	if err := b.UnmarshalBinary(good[:12]); err == nil {
+		t.Fatal("accepted truncated payload")
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	b := FromWords(70, []uint64{^uint64(0), ^uint64(0)})
+	if b.Count() != 70 {
+		t.Fatalf("FromWords did not trim: count = %d", b.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromWords short slice did not panic")
+		}
+	}()
+	FromWords(129, []uint64{0, 0})
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := New(4096)
+	b := New(4096)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal bitsets have different fingerprints")
+	}
+	b.Set(2048, true)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("single-bit difference not reflected in fingerprint")
+	}
+}
+
+func TestHexLength(t *testing.T) {
+	b := New(64)
+	if got := len(b.Hex()); got != 16 {
+		t.Fatalf("Hex length = %d, want 16", got)
+	}
+}
+
+// Property: String/ParseBits round trip for arbitrary bit patterns.
+func TestStringRoundTripProperty(t *testing.T) {
+	f := func(words []uint64, nBits uint16) bool {
+		n := int(nBits % 300)
+		if len(words) < wordsFor(n) {
+			grown := make([]uint64, wordsFor(n))
+			copy(grown, words)
+			words = grown
+		}
+		b := FromWords(n, words)
+		p, err := ParseBits(b.String())
+		return err == nil && p.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hamming distance is a metric w.r.t. Count of XOR and symmetry.
+func TestHammingSymmetryProperty(t *testing.T) {
+	f := func(a, b [4]uint64) bool {
+		x := FromWords(256, a[:])
+		y := FromWords(256, b[:])
+		return x.Hamming(y) == y.Hamming(x) && x.Hamming(x) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHamming4096(b *testing.B) {
+	x, y := New(4096), New(4096)
+	for i := 0; i < 4096; i += 7 {
+		x.Set(i, true)
+	}
+	for i := 0; i < 4096; i += 5 {
+		y.Set(i, true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Hamming(y)
+	}
+}
+
+func BenchmarkClone4096(b *testing.B) {
+	x := New(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Clone()
+	}
+}

@@ -1,0 +1,50 @@
+package bitset
+
+import "testing"
+
+// FuzzUnmarshalBinary hardens the bitset decoder against arbitrary input.
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := New(130).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Bitset
+		if err := b.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted input must round-trip exactly.
+		out, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted bitset does not marshal: %v", err)
+		}
+		var c Bitset
+		if err := c.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-marshalled bitset does not decode: %v", err)
+		}
+		if !b.Equal(&c) {
+			t.Fatal("round trip changed the bitset")
+		}
+		// Count must respect the logical length (tail bits clear).
+		if b.Count() > b.Len() {
+			t.Fatalf("count %d exceeds length %d", b.Count(), b.Len())
+		}
+	})
+}
+
+// FuzzParseBits hardens the 0/1 string parser.
+func FuzzParseBits(f *testing.F) {
+	f.Add("0110")
+	f.Add("")
+	f.Add("01x0")
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := ParseBits(s)
+		if err != nil {
+			return
+		}
+		if b.String() != s {
+			t.Fatalf("round trip %q -> %q", s, b.String())
+		}
+	})
+}

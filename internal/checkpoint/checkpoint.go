@@ -1,0 +1,225 @@
+// Package checkpoint serialises simulation state — the record-keeping role
+// the paper assigns to the Nature Agent ("handles all file I/O to record
+// the global variables across generations"). A Snapshot captures the
+// generation number and every SSet's strategy; the binary codec is
+// self-describing, versioned, and stdlib-only.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/strategy"
+)
+
+// Magic and version identify the stream format.
+const (
+	Magic   uint32 = 0x45474431 // "EGD1"
+	Version uint16 = 1
+)
+
+// Strategy kind tags in the stream.
+const (
+	kindPure  uint8 = 1
+	kindMixed uint8 = 2
+)
+
+// Snapshot is a point-in-time capture of a run.
+type Snapshot struct {
+	// Generation is the number of completed generations.
+	Generation uint64
+	// Seed is the run's master seed (for provenance).
+	Seed uint64
+	// Memory is the strategy depth.
+	Memory int
+	// Strategies holds every SSet's strategy.
+	Strategies []strategy.Strategy
+	// Fitness optionally holds every SSet's fitness at the snapshot
+	// (empty means not recorded).
+	Fitness []float64
+}
+
+// Validate checks internal consistency.
+func (s *Snapshot) Validate() error {
+	if s.Memory < 1 || s.Memory > strategy.MaxMemory {
+		return fmt.Errorf("checkpoint: memory %d out of range", s.Memory)
+	}
+	if len(s.Strategies) == 0 {
+		return errors.New("checkpoint: no strategies")
+	}
+	sp := strategy.NewSpace(s.Memory)
+	for i, st := range s.Strategies {
+		if st == nil {
+			return fmt.Errorf("checkpoint: nil strategy %d", i)
+		}
+		if st.Space() != sp {
+			return fmt.Errorf("checkpoint: strategy %d space mismatch", i)
+		}
+	}
+	if len(s.Fitness) != 0 && len(s.Fitness) != len(s.Strategies) {
+		return fmt.Errorf("checkpoint: %d fitness values for %d strategies", len(s.Fitness), len(s.Strategies))
+	}
+	return nil
+}
+
+// Write encodes the snapshot to w.
+func Write(w io.Writer, s *Snapshot) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	writeU32 := func(v uint32) { _ = binary.Write(bw, binary.LittleEndian, v) }
+	writeU64 := func(v uint64) { _ = binary.Write(bw, binary.LittleEndian, v) }
+	writeU32(Magic)
+	_ = binary.Write(bw, binary.LittleEndian, Version)
+	_ = bw.WriteByte(byte(s.Memory))
+	_ = bw.WriteByte(0) // reserved
+	writeU64(s.Generation)
+	writeU64(s.Seed)
+	writeU32(uint32(len(s.Strategies)))
+	hasFitness := uint8(0)
+	if len(s.Fitness) > 0 {
+		hasFitness = 1
+	}
+	_ = bw.WriteByte(hasFitness)
+	for _, st := range s.Strategies {
+		switch v := st.(type) {
+		case *strategy.Pure:
+			_ = bw.WriteByte(kindPure)
+			data, err := v.Bits().MarshalBinary()
+			if err != nil {
+				return err
+			}
+			writeU32(uint32(len(data)))
+			if _, err := bw.Write(data); err != nil {
+				return err
+			}
+		case *strategy.Mixed:
+			_ = bw.WriteByte(kindMixed)
+			probs := v.Probs()
+			writeU32(uint32(len(probs)))
+			for _, p := range probs {
+				writeU64(math.Float64bits(p))
+			}
+		default:
+			return fmt.Errorf("checkpoint: unsupported strategy type %T", st)
+		}
+	}
+	if hasFitness == 1 {
+		for _, f := range s.Fitness {
+			writeU64(math.Float64bits(f))
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes a snapshot from r.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", version)
+	}
+	memByte, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != nil { // reserved
+		return nil, err
+	}
+	s := &Snapshot{Memory: int(memByte)}
+	if s.Memory < 1 || s.Memory > strategy.MaxMemory {
+		return nil, fmt.Errorf("checkpoint: memory %d out of range", s.Memory)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &s.Generation); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &s.Seed); err != nil {
+		return nil, err
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count == 0 || count > 1<<28 {
+		return nil, fmt.Errorf("checkpoint: implausible strategy count %d", count)
+	}
+	hasFitness, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	sp := strategy.NewSpace(s.Memory)
+	s.Strategies = make([]strategy.Strategy, count)
+	for i := range s.Strategies {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: strategy %d kind: %w", i, err)
+		}
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		switch kind {
+		case kindPure:
+			if n > 1<<20 {
+				return nil, fmt.Errorf("checkpoint: pure strategy blob of %d bytes", n)
+			}
+			data := make([]byte, n)
+			if _, err := io.ReadFull(br, data); err != nil {
+				return nil, err
+			}
+			var b bitset.Bitset
+			if err := b.UnmarshalBinary(data); err != nil {
+				return nil, err
+			}
+			if b.Len() != sp.NumStates() {
+				return nil, fmt.Errorf("checkpoint: strategy %d has %d states, want %d", i, b.Len(), sp.NumStates())
+			}
+			s.Strategies[i] = strategy.PureFromBits(sp, &b)
+		case kindMixed:
+			if int(n) != sp.NumStates() {
+				return nil, fmt.Errorf("checkpoint: mixed strategy %d has %d probs, want %d", i, n, sp.NumStates())
+			}
+			probs := make([]float64, n)
+			for j := range probs {
+				var bits64 uint64
+				if err := binary.Read(br, binary.LittleEndian, &bits64); err != nil {
+					return nil, err
+				}
+				probs[j] = math.Float64frombits(bits64)
+				if math.IsNaN(probs[j]) || probs[j] < 0 || probs[j] > 1 {
+					return nil, fmt.Errorf("checkpoint: mixed strategy %d prob %d out of range", i, j)
+				}
+			}
+			s.Strategies[i] = strategy.MixedFromProbs(sp, probs)
+		default:
+			return nil, fmt.Errorf("checkpoint: unknown strategy kind %d", kind)
+		}
+	}
+	if hasFitness == 1 {
+		s.Fitness = make([]float64, count)
+		for i := range s.Fitness {
+			var bits64 uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits64); err != nil {
+				return nil, err
+			}
+			s.Fitness[i] = math.Float64frombits(bits64)
+		}
+	}
+	return s, nil
+}

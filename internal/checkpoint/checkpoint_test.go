@@ -1,0 +1,240 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/strategy"
+)
+
+func pureSnapshot(t *testing.T, n, count int) *Snapshot {
+	t.Helper()
+	sp := strategy.NewSpace(n)
+	src := rng.New(1)
+	s := &Snapshot{Generation: 12345, Seed: 99, Memory: n}
+	for i := 0; i < count; i++ {
+		s.Strategies = append(s.Strategies, strategy.RandomPure(sp, src))
+	}
+	return s
+}
+
+func TestPureRoundTrip(t *testing.T) {
+	for _, mem := range []int{1, 3, 6} {
+		s := pureSnapshot(t, mem, 17)
+		s.Fitness = make([]float64, 17)
+		for i := range s.Fitness {
+			s.Fitness[i] = float64(i) * 1.5
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Generation != 12345 || got.Seed != 99 || got.Memory != mem {
+			t.Fatalf("header mismatch: %+v", got)
+		}
+		if len(got.Strategies) != 17 {
+			t.Fatalf("%d strategies", len(got.Strategies))
+		}
+		for i := range got.Strategies {
+			if !got.Strategies[i].Equal(s.Strategies[i]) {
+				t.Fatalf("strategy %d differs", i)
+			}
+		}
+		for i := range got.Fitness {
+			if got.Fitness[i] != s.Fitness[i] {
+				t.Fatalf("fitness %d differs", i)
+			}
+		}
+	}
+}
+
+func TestMixedRoundTrip(t *testing.T) {
+	sp := strategy.NewSpace(2)
+	src := rng.New(2)
+	s := &Snapshot{Generation: 7, Seed: 1, Memory: 2}
+	for i := 0; i < 5; i++ {
+		s.Strategies = append(s.Strategies, strategy.RandomMixed(sp, src))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Strategies {
+		if !got.Strategies[i].Equal(s.Strategies[i]) {
+			t.Fatalf("mixed strategy %d differs", i)
+		}
+	}
+	if got.Fitness != nil {
+		t.Fatal("fitness materialised from nothing")
+	}
+}
+
+func TestMixedKindsRoundTrip(t *testing.T) {
+	sp := strategy.NewSpace(1)
+	s := &Snapshot{Generation: 1, Memory: 1}
+	s.Strategies = []strategy.Strategy{
+		strategy.WSLS(sp),
+		strategy.GTFT(sp, 0.3),
+		strategy.AllD(sp),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Strategies {
+		if !got.Strategies[i].Equal(s.Strategies[i]) {
+			t.Fatalf("strategy %d differs", i)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	if (&Snapshot{Memory: 0, Strategies: nil}).Validate() == nil {
+		t.Fatal("bad memory accepted")
+	}
+	if (&Snapshot{Memory: 1}).Validate() == nil {
+		t.Fatal("empty strategies accepted")
+	}
+	sp1, sp2 := strategy.NewSpace(1), strategy.NewSpace(2)
+	s := &Snapshot{Memory: 1, Strategies: []strategy.Strategy{strategy.AllC(sp2)}}
+	_ = sp1
+	if s.Validate() == nil {
+		t.Fatal("space mismatch accepted")
+	}
+	s = &Snapshot{Memory: 1, Strategies: []strategy.Strategy{strategy.AllC(sp1)}, Fitness: []float64{1, 2}}
+	if s.Validate() == nil {
+		t.Fatal("fitness length mismatch accepted")
+	}
+	s = &Snapshot{Memory: 1, Strategies: []strategy.Strategy{nil}}
+	if s.Validate() == nil {
+		t.Fatal("nil strategy accepted")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	s := pureSnapshot(t, 1, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] ^= 0xFF
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte{}, good...)
+	bad[4] = 0xFF
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// Bad memory byte.
+	bad = append([]byte{}, good...)
+	bad[6] = 9
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad memory accepted")
+	}
+	// Truncations at every prefix length must error, not panic.
+	for cut := 0; cut < len(good); cut += 3 {
+		if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Empty stream.
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestReadRejectsImplausibleCounts(t *testing.T) {
+	s := pureSnapshot(t, 1, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Strategy count lives at offset 24 (magic 4 + version 2 + memory 1 +
+	// reserved 1 + generation 8 + seed 8), little-endian uint32.
+	zeroCount := append([]byte{}, good...)
+	zeroCount[24], zeroCount[25], zeroCount[26], zeroCount[27] = 0, 0, 0, 0
+	if _, err := Read(bytes.NewReader(zeroCount)); err == nil {
+		t.Fatal("zero strategy count accepted")
+	}
+	hugeCount := append([]byte{}, good...)
+	hugeCount[24], hugeCount[25], hugeCount[26], hugeCount[27] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := Read(bytes.NewReader(hugeCount)); err == nil {
+		t.Fatal("implausible strategy count accepted")
+	}
+	// The first strategy's blob length sits after count (4) and the
+	// has-fitness byte (1) and the kind byte (1): offset 30.
+	hugeBlob := append([]byte{}, good...)
+	hugeBlob[30], hugeBlob[31], hugeBlob[32], hugeBlob[33] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := Read(bytes.NewReader(hugeBlob)); err == nil {
+		t.Fatal("oversized pure blob accepted")
+	}
+	// Unknown strategy kind at offset 29.
+	badKind := append([]byte{}, good...)
+	badKind[29] = 99
+	if _, err := Read(bytes.NewReader(badKind)); err == nil {
+		t.Fatal("unknown strategy kind accepted")
+	}
+}
+
+func TestReadRejectsWrongStateCount(t *testing.T) {
+	// A memory-2 snapshot whose header claims memory-1 must be rejected
+	// because the strategy tables have the wrong state count.
+	s := pureSnapshot(t, 2, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[6] = 1 // memory byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("state-count mismatch accepted")
+	}
+}
+
+func TestReadRejectsOutOfRangeProbs(t *testing.T) {
+	sp := strategy.NewSpace(1)
+	s := &Snapshot{Generation: 1, Memory: 1,
+		Strategies: []strategy.Strategy{strategy.GTFT(sp, 0.5)}}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The last 8 bytes of the stream are the final probability; set them to
+	// the bit pattern of 2.0 (out of range).
+	for i := 0; i < 8; i++ {
+		data[len(data)-8+i] = 0
+	}
+	data[len(data)-2] = 0x00
+	data[len(data)-1] = 0x40 // float64(2.0) high byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Snapshot{Memory: 1}); err == nil {
+		t.Fatal("invalid snapshot written")
+	}
+}

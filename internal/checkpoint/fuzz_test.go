@@ -1,0 +1,62 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/strategy"
+)
+
+// FuzzRead hardens the checkpoint decoder: arbitrary bytes must never
+// panic, and any stream it accepts must re-encode to an equivalent
+// snapshot.
+func FuzzRead(f *testing.F) {
+	// Seed with valid streams of both strategy kinds.
+	sp := strategy.NewSpace(2)
+	src := rng.New(1)
+	pure := &Snapshot{Generation: 5, Seed: 9, Memory: 2,
+		Strategies: []strategy.Strategy{strategy.RandomPure(sp, src), strategy.WSLS(sp)},
+		Fitness:    []float64{1.5, 2.5}}
+	var buf bytes.Buffer
+	if err := Write(&buf, pure); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	buf.Reset()
+	mixed := &Snapshot{Generation: 1, Memory: 1,
+		Strategies: []strategy.Strategy{strategy.GTFT(strategy.NewSpace(1), 0.3)}}
+	if err := Write(&buf, mixed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x44, 0x47, 0x45, 1, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally valid and round-trip.
+		if err := snap.Validate(); err != nil {
+			t.Fatalf("accepted snapshot fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := Write(&out, snap); err != nil {
+			t.Fatalf("accepted snapshot does not re-encode: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot does not decode: %v", err)
+		}
+		if len(again.Strategies) != len(snap.Strategies) || again.Generation != snap.Generation {
+			t.Fatal("round trip changed the snapshot")
+		}
+		for i := range snap.Strategies {
+			if !again.Strategies[i].Equal(snap.Strategies[i]) {
+				t.Fatalf("strategy %d changed in round trip", i)
+			}
+		}
+	})
+}

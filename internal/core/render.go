@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/strategy"
+)
+
+// This file renders the paper's Fig. 2 population view: each row is one
+// SSet's strategy, each column one state; yellow marks a cooperative move
+// and blue a defection. Two backends are provided — ASCII for terminals and
+// binary PPM (P6) for image files — both stdlib-only.
+
+// AsciiMap renders the strategy table as text: one row per SSet, one
+// character per state ('.' cooperate, '#' defect, digits for intermediate
+// mixed probabilities). maxRows caps the output (0 = all rows).
+func AsciiMap(strategies []strategy.Strategy, maxRows int) string {
+	if maxRows <= 0 || maxRows > len(strategies) {
+		maxRows = len(strategies)
+	}
+	var sb strings.Builder
+	for i := 0; i < maxRows; i++ {
+		s := strategies[i]
+		n := s.Space().NumStates()
+		for st := 0; st < n; st++ {
+			p := s.CooperateProb(uint32(st))
+			switch {
+			case p >= 0.9:
+				sb.WriteByte('.')
+			case p <= 0.1:
+				sb.WriteByte('#')
+			default:
+				// Digit 1..8 for the cooperation decile.
+				sb.WriteByte(byte('0' + int(p*10)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WritePPM renders the strategy table as a binary PPM image, scaled by the
+// given integer cell size: cooperation maps to yellow, defection to blue,
+// intermediate probabilities interpolate — the paper's Fig. 2 colour
+// scheme.
+func WritePPM(w io.Writer, strategies []strategy.Strategy, cell int) error {
+	if len(strategies) == 0 {
+		return fmt.Errorf("core: no strategies to render")
+	}
+	if cell < 1 {
+		return fmt.Errorf("core: cell size %d < 1", cell)
+	}
+	states := strategies[0].Space().NumStates()
+	for i, s := range strategies {
+		if s.Space().NumStates() != states {
+			return fmt.Errorf("core: strategy %d has %d states, want %d", i, s.Space().NumStates(), states)
+		}
+	}
+	width := states * cell
+	height := len(strategies) * cell
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	// Yellow (255,220,0) for cooperate, blue (20,60,200) for defect.
+	row := make([]byte, 3*width)
+	for _, s := range strategies {
+		for st := 0; st < states; st++ {
+			p := s.CooperateProb(uint32(st))
+			r := byte(20 + p*(255-20))
+			g := byte(60 + p*(220-60))
+			b := byte(200 - p*200)
+			for cx := 0; cx < cell; cx++ {
+				off := 3 * (st*cell + cx)
+				row[off], row[off+1], row[off+2] = r, g, b
+			}
+		}
+		for cy := 0; cy < cell; cy++ {
+			if _, err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

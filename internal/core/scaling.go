@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Paper experiment constants (§VI-B): the small-scale studies fix 1,024
+// SSets, 1,000 generations, and a 0.01 PC rate on Blue Gene/L.
+const (
+	SmallStudySSets       = 1024
+	SmallStudyGenerations = 1000
+	SmallStudyPCRate      = 0.01
+)
+
+// SmallStudyProcs are Table VI/VII's processor columns.
+func SmallStudyProcs() []int { return []int{128, 256, 512, 1024, 2048} }
+
+// TableVI models the paper's Table VI: full-simulation seconds for 1,024
+// SSets at memory one through six across the processor columns, priced on
+// Blue Gene/L with the given calibration.
+func TableVI(cal perfmodel.Calibration) (*Table, error) {
+	procs := SmallStudyProcs()
+	t := &Table{Title: fmt.Sprintf("Table VI: modelled runtime (s), %d SSets, %d generations [calibration %s]",
+		SmallStudySSets, SmallStudyGenerations, cal.Name)}
+	t.Columns = append(t.Columns, "Memory")
+	for _, p := range procs {
+		t.Columns = append(t.Columns, fmt.Sprintf("P=%d", p))
+	}
+	for mem := 1; mem <= 6; mem++ {
+		spec := perfmodel.StrongScalingSpec{
+			SSets:       SmallStudySSets,
+			Memory:      mem,
+			Generations: SmallStudyGenerations,
+			PCRate:      SmallStudyPCRate,
+			Machine:     perfmodel.BlueGeneL(),
+			Cal:         cal,
+		}
+		row := []string{fmt.Sprintf("memory-%d", mem)}
+		for _, p := range procs {
+			sec, err := spec.Runtime(p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.4g", sec))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig3 models the paper's Figure 3: strong-scaling parallel efficiency per
+// memory depth (relative to the 128-processor column).
+func Fig3(cal perfmodel.Calibration) (*Table, error) {
+	procs := SmallStudyProcs()
+	t := &Table{Title: "Figure 3: strong-scaling efficiency vs memory depth (base P=128)"}
+	t.Columns = append(t.Columns, "Memory")
+	for _, p := range procs {
+		t.Columns = append(t.Columns, fmt.Sprintf("P=%d", p))
+	}
+	for mem := 1; mem <= 6; mem++ {
+		spec := perfmodel.StrongScalingSpec{
+			SSets: SmallStudySSets, Memory: mem, Generations: SmallStudyGenerations,
+			PCRate: SmallStudyPCRate, Machine: perfmodel.BlueGeneL(), Cal: cal,
+		}
+		base, err := spec.Runtime(procs[0])
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("memory-%d", mem)}
+		for _, p := range procs {
+			sec, err := spec.Runtime(p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", perfmodel.Efficiency(procs[0], base, p, sec)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig4 models the paper's Figure 4: runtime versus memory depth at a fixed
+// processor count (the state-lookup cost growth mechanism).
+func Fig4(cal perfmodel.Calibration, procs int) (*Table, error) {
+	t := &Table{Title: fmt.Sprintf("Figure 4: modelled runtime vs memory depth at P=%d", procs)}
+	t.Columns = []string{"Memory", "Runtime(s)", "xMemory-1"}
+	var base float64
+	for mem := 1; mem <= 6; mem++ {
+		spec := perfmodel.StrongScalingSpec{
+			SSets: SmallStudySSets, Memory: mem, Generations: SmallStudyGenerations,
+			PCRate: SmallStudyPCRate, Machine: perfmodel.BlueGeneL(), Cal: cal,
+		}
+		sec, err := spec.Runtime(procs)
+		if err != nil {
+			return nil, err
+		}
+		if mem == 1 {
+			base = sec
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", mem), fmt.Sprintf("%.4g", sec), fmt.Sprintf("%.1f", sec/base),
+		})
+	}
+	return t, nil
+}
+
+// TableVIISSets are Table VII's population rows.
+func TableVIISSets() []int { return []int{1024, 2048, 4096, 8192, 16384, 32768} }
+
+// TableVII models the paper's Table VII: runtime as the SSet count grows
+// (memory one, the paper's population study), across processor columns.
+func TableVII(cal perfmodel.Calibration) (*Table, error) {
+	procs := []int{256, 512, 1024, 2048}
+	t := &Table{Title: fmt.Sprintf("Table VII: modelled runtime (s) vs population size [calibration %s]", cal.Name)}
+	t.Columns = append(t.Columns, "SSets")
+	for _, p := range procs {
+		t.Columns = append(t.Columns, fmt.Sprintf("P=%d", p))
+	}
+	for _, s := range TableVIISSets() {
+		row := []string{fmt.Sprintf("%d", s)}
+		for _, p := range procs {
+			spec := perfmodel.StrongScalingSpec{
+				SSets: s, Memory: 1, Generations: SmallStudyGenerations,
+				PCRate: SmallStudyPCRate, Machine: perfmodel.BlueGeneL(), Cal: cal,
+			}
+			sec, err := spec.Runtime(p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.4g", sec))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig5 models the paper's Figure 5: strong-scaling efficiency as the SSet
+// count grows (base P=256).
+func Fig5(cal perfmodel.Calibration) (*Table, error) {
+	procs := []int{256, 512, 1024, 2048}
+	t := &Table{Title: "Figure 5: strong-scaling efficiency vs population size (base P=256)"}
+	t.Columns = append(t.Columns, "SSets")
+	for _, p := range procs {
+		t.Columns = append(t.Columns, fmt.Sprintf("P=%d", p))
+	}
+	for _, s := range TableVIISSets() {
+		spec := perfmodel.StrongScalingSpec{
+			SSets: s, Memory: 1, Generations: SmallStudyGenerations,
+			PCRate: SmallStudyPCRate, Machine: perfmodel.BlueGeneL(), Cal: cal,
+		}
+		base, err := spec.Runtime(procs[0])
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", s)}
+		for _, p := range procs {
+			sec, err := spec.Runtime(p)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", perfmodel.Efficiency(procs[0], base, p, sec)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6Procs are the weak-scaling processor counts (1,024 up to the 64-rack
+// 262,144 of Jugene).
+func Fig6Procs() []int { return []int{1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144} }
+
+// Fig6 models the paper's Figure 6: weak scaling at 4,096 SSets per
+// processor on Blue Gene/P (memory six).
+func Fig6(cal perfmodel.Calibration) (*Table, error) {
+	t := &Table{Title: "Figure 6: weak scaling, 4,096 SSets/processor, memory six, BG/P"}
+	t.Columns = []string{"Procs", "SSets", "Agents", "Runtime(s)", "WeakEff"}
+	w := perfmodel.WeakScalingSpec{
+		SSetsPerProc: 4096, GamesPerSSet: 1, Memory: 6,
+		Generations: SmallStudyGenerations, PCRate: SmallStudyPCRate,
+		Machine: perfmodel.BlueGeneP(), Cal: cal,
+	}
+	var base float64
+	for i, p := range Fig6Procs() {
+		sec, err := w.Runtime(p)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = sec
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%d", w.TotalSSets(p)),
+			fmt.Sprintf("%.3g", w.TotalAgents(p)),
+			fmt.Sprintf("%.4g", sec),
+			fmt.Sprintf("%.4f", perfmodel.WeakEfficiency(base, sec)),
+		})
+	}
+	return t, nil
+}
+
+// Fig7Procs are the paper's large strong-scaling points (system
+// availability limited it to these), optionally with the full 72-rack
+// system appended.
+func Fig7Procs(fullSystem bool) []int {
+	p := []int{1024, 2048, 8192, 16384, 262144}
+	if fullSystem {
+		p = append(p, 294912)
+	}
+	return p
+}
+
+// Fig7 models the paper's Figure 7: strong scaling on Blue Gene/P up to
+// 262,144 processors (and, with fullSystem, the 72-rack 294,912 point whose
+// non-power-of-two mapping costs ~15%).
+func Fig7(cal perfmodel.Calibration, fullSystem bool) (*Table, error) {
+	t := &Table{Title: "Figure 7: strong scaling, memory six, BG/P (base P=1024)"}
+	t.Columns = []string{"Procs", "Runtime(s)", "Speedup", "Efficiency"}
+	spec := perfmodel.StrongScalingSpec{
+		SSets: 1 << 21, Memory: 6, Generations: 100,
+		PCRate: SmallStudyPCRate, Machine: perfmodel.BlueGeneP(), Cal: cal,
+	}
+	procs := Fig7Procs(fullSystem)
+	base, err := spec.Runtime(procs[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range procs {
+		sec, err := spec.Runtime(p)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.4g", sec),
+			fmt.Sprintf("%.1f", perfmodel.Speedup(base, sec)),
+			fmt.Sprintf("%.3f", perfmodel.Efficiency(procs[0], base, p, sec)),
+		})
+	}
+	return t, nil
+}
+
+// MappingStudy evaluates the paper's §VI-E future work: candidate
+// rank-to-torus mappings compared on the application's Nature-centric
+// traffic pattern, for a full power-of-two partition and a partial
+// (non-power-of-two, "72-rack-like") partition of the same torus.
+func MappingStudy() (*Table, error) {
+	tor, err := topology.NewTorus(16, 16, 16) // a 4,096-node machine slice
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Mapping study (paper future work): Nature-traffic cost per mapping (mean hops; lower is better)",
+		Columns: []string{"Partition", "xyz", "zyx", "snake", "blocked2x2x2"},
+	}
+	for _, part := range []struct {
+		name  string
+		ranks int
+	}{
+		{"full 4096 (power of two)", 4096},
+		{"partial 3600 (non-power-of-two)", 3600},
+		{"partial 2304 (non-power-of-two)", 2304},
+	} {
+		costs, err := topology.CompareMappings(tor, part.ranks, topology.DefaultMappings(tor))
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			part.name,
+			fmt.Sprintf("%.3f", costs["xyz"]),
+			fmt.Sprintf("%.3f", costs["zyx"]),
+			fmt.Sprintf("%.3f", costs["snake"]),
+			fmt.Sprintf("%.3f", costs["blocked2x2x2"]),
+		})
+	}
+	return t, nil
+}
+
+// HostScalingRow is one measured (not modelled) scaling point: the actual
+// parallel engine on goroutine ranks.
+type HostScalingRow struct {
+	Ranks   int
+	Seconds float64
+}
+
+// HostStrongScaling measures the real parallel engine's strong scaling on
+// this host for the given configuration across rank counts. Rank counts are
+// capped at NumCPU+1 more ranks than SSets never being requested is the
+// caller's concern; invalid counts are skipped.
+func HostStrongScaling(cfg sim.Config, rankCounts []int) ([]HostScalingRow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var out []HostScalingRow
+	for _, r := range rankCounts {
+		if r < 2 || r-1 > cfg.NumSSets*(cfg.NumSSets-1) {
+			continue
+		}
+		res, err := sim.RunParallel(cfg, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, HostScalingRow{Ranks: r, Seconds: res.Elapsed.Seconds()})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no valid rank counts in %v", rankCounts)
+	}
+	return out, nil
+}
+
+// DefaultHostRankCounts returns sensible rank counts for this host: powers
+// of two from 2 up to the CPU count plus one Nature rank.
+func DefaultHostRankCounts() []int {
+	max := runtime.NumCPU()
+	var out []int
+	for w := 1; w <= max; w *= 2 {
+		out = append(out, w+1)
+	}
+	return out
+}

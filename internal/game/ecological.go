@@ -1,0 +1,115 @@
+package game
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Ecological tournament: Axelrod's follow-up analysis to the round robin.
+// Instead of a single scored tournament, the entrant mix evolves — each
+// "generation" every entrant's population share grows in proportion to the
+// score it earns against the current mix. Strategies that prey on weak
+// entrants fade once their prey disappears, which is how Axelrod showed
+// TFT's success was robust rather than parasitic. It complements the
+// paper's pairwise-comparison dynamics with the classic frequency-weighted
+// view over a fixed strategy set.
+
+// EcoResult is the outcome of an ecological tournament.
+type EcoResult struct {
+	// Names are the entrants, in input order.
+	Names []string
+	// Shares[g][e] is entrant e's population share at generation g
+	// (generation 0 is the initial uniform mix).
+	Shares [][]float64
+	// Generations is the number of evolution steps run.
+	Generations int
+}
+
+// FinalShares returns the last generation's population shares.
+func (r *EcoResult) FinalShares() []float64 {
+	return r.Shares[len(r.Shares)-1]
+}
+
+// Winner returns the name and share of the most abundant final entrant.
+func (r *EcoResult) Winner() (string, float64) {
+	final := r.FinalShares()
+	best := 0
+	for i, s := range final {
+		if s > final[best] {
+			best = i
+		}
+	}
+	return r.Names[best], final[best]
+}
+
+// Ecological runs the frequency-weighted tournament: the pairwise payoff
+// matrix is computed once (mean per-round payoffs under rules), then shares
+// evolve for the given generations with growth proportional to expected
+// score against the current mix. Randomness (mixed strategies, errors) is
+// seeded; shares are deterministic given the matrix.
+func Ecological(rules Rules, entrants []Entrant, generations int, seed uint64) (*EcoResult, error) {
+	if err := rules.Validate(); err != nil {
+		return nil, err
+	}
+	if len(entrants) < 2 {
+		return nil, fmt.Errorf("game: ecological tournament needs >= 2 entrants")
+	}
+	if generations < 1 {
+		return nil, fmt.Errorf("game: generations %d < 1", generations)
+	}
+	n := len(entrants)
+	for i := range entrants {
+		if entrants[i].Strategy.Space() != entrants[0].Strategy.Space() {
+			return nil, fmt.Errorf("game: entrant %q has mismatched space", entrants[i].Name)
+		}
+	}
+	payoff := make([][]float64, n)
+	master := rng.New(seed)
+	for i := range payoff {
+		payoff[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			src := master.Derive(uint64(i), uint64(j))
+			res := Play(rules, entrants[i].Strategy, entrants[j].Strategy, src)
+			payoff[i][j] = res.Mean0()
+			payoff[j][i] = res.Mean1()
+		}
+	}
+
+	out := &EcoResult{Generations: generations}
+	for _, e := range entrants {
+		out.Names = append(out.Names, e.Name)
+	}
+	shares := make([]float64, n)
+	for i := range shares {
+		shares[i] = 1.0 / float64(n)
+	}
+	record := func() {
+		snap := make([]float64, n)
+		copy(snap, shares)
+		out.Shares = append(out.Shares, snap)
+	}
+	record()
+	next := make([]float64, n)
+	for g := 0; g < generations; g++ {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			score := 0.0
+			for j := 0; j < n; j++ {
+				score += shares[j] * payoff[i][j]
+			}
+			next[i] = shares[i] * score
+			total += next[i]
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("game: ecological mass collapsed at generation %d", g)
+		}
+		for i := range shares {
+			shares[i] = next[i] / total
+		}
+		record()
+	}
+	return out, nil
+}

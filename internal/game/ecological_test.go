@@ -1,0 +1,131 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+func TestEcologicalSharesNormalised(t *testing.T) {
+	res, err := Ecological(DefaultRules(), classicEntrants(t, 1), 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shares) != 51 {
+		t.Fatalf("%d share snapshots", len(res.Shares))
+	}
+	for g, shares := range res.Shares {
+		sum := 0.0
+		for _, s := range shares {
+			if s < 0 {
+				t.Fatalf("gen %d: negative share", g)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("gen %d: share mass %v", g, sum)
+		}
+	}
+}
+
+func TestEcologicalAxelrodStory(t *testing.T) {
+	// Axelrod's ecological finding: in a field rich in exploitable
+	// cooperators, ALLD blooms early on its prey, then starves as the prey
+	// vanishes, while reciprocators inherit the population.
+	sp := strategy.NewSpace(1)
+	entrants := []Entrant{
+		{Name: "ALLC-a", Strategy: strategy.AllC(sp)},
+		{Name: "ALLC-b", Strategy: strategy.AllC(sp)},
+		{Name: "ALLC-c", Strategy: strategy.AllC(sp)},
+		{Name: "ALLC-d", Strategy: strategy.AllC(sp)},
+		{Name: "ALLD", Strategy: strategy.AllD(sp)},
+		{Name: "TFT", Strategy: strategy.TFT(sp)},
+	}
+	res, err := Ecological(DefaultRules(), entrants, 600, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, n := range res.Names {
+		idx[n] = i
+	}
+	final := res.FinalShares()
+	if final[idx["ALLD"]] > 0.02 {
+		t.Errorf("ALLD final share %v, want near extinction", final[idx["ALLD"]])
+	}
+	// ALLD must have grown above its initial share at some point (the prey
+	// phase) before collapsing.
+	peak := 0.0
+	for _, shares := range res.Shares {
+		if s := shares[idx["ALLD"]]; s > peak {
+			peak = s
+		}
+	}
+	if peak <= 1.0/float64(len(res.Names))+1e-9 {
+		t.Errorf("ALLD never bloomed: peak %v", peak)
+	}
+	// The reciprocator inherits the population.
+	name, share := res.Winner()
+	if name != "TFT" {
+		t.Errorf("winner %s (%v), want TFT", name, share)
+	}
+}
+
+func TestEcologicalWithNoiseFavoursErrorTolerant(t *testing.T) {
+	rules := DefaultRules()
+	rules.ErrorRate = 0.05
+	res, err := Ecological(rules, classicEntrants(t, 1), 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, n := range res.Names {
+		idx[n] = i
+	}
+	final := res.FinalShares()
+	// Under errors the forgiving/correcting strategies (GTFT, WSLS) must
+	// out-hold plain TFT in the long run.
+	if final[idx["GTFT"]]+final[idx["WSLS"]] < final[idx["TFT"]] {
+		t.Errorf("error-tolerant strategies (%v) below TFT (%v)",
+			final[idx["GTFT"]]+final[idx["WSLS"]], final[idx["TFT"]])
+	}
+}
+
+func TestEcologicalValidation(t *testing.T) {
+	es := classicEntrants(t, 1)
+	if _, err := Ecological(DefaultRules(), es[:1], 10, 1); err == nil {
+		t.Fatal("single entrant accepted")
+	}
+	if _, err := Ecological(DefaultRules(), es, 0, 1); err == nil {
+		t.Fatal("zero generations accepted")
+	}
+	bad := DefaultRules()
+	bad.Rounds = 0
+	if _, err := Ecological(bad, es, 10, 1); err == nil {
+		t.Fatal("bad rules accepted")
+	}
+	mixed := append([]Entrant{}, es...)
+	mixed[0].Strategy = strategy.AllC(strategy.NewSpace(2))
+	if _, err := Ecological(DefaultRules(), mixed, 10, 1); err == nil {
+		t.Fatal("mismatched spaces accepted")
+	}
+}
+
+func TestEcologicalDeterministic(t *testing.T) {
+	a, err := Ecological(DefaultRules(), classicEntrants(t, 1), 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ecological(DefaultRules(), classicEntrants(t, 1), 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range a.Shares {
+		for i := range a.Shares[g] {
+			if a.Shares[g][i] != b.Shares[g][i] {
+				t.Fatal("identical seeds diverged")
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package game implements the two-player Iterated Prisoner's Dilemma engine
+// at the heart of the framework: the payoff matrix (Table I of the paper),
+// the per-round state tracking (current_view), the execution-error model
+// (§III-E), and the generation-level match loop (200 rounds by default).
+//
+// Two state-lookup engines are provided:
+//
+//   - the optimised engine keeps the state as a packed integer and indexes
+//     the strategy table directly (O(1) per round);
+//   - the paper-faithful engine maintains an explicit current_view move list
+//     and linearly searches the global state table each round (find_state in
+//     the paper's pseudo-code) — this is the code path whose cost growth
+//     with memory depth produces the paper's Fig. 4, and we reproduce it as
+//     an ablation.
+package game
+
+import (
+	"fmt"
+
+	"repro/internal/strategy"
+)
+
+// Payoff holds the four Prisoner's Dilemma outcomes. The paper uses
+// f[R,S,T,P] = [3,0,4,1].
+type Payoff struct {
+	R float64 // reward: both cooperate
+	S float64 // sucker: I cooperate, opponent defects
+	T float64 // temptation: I defect, opponent cooperates
+	P float64 // punishment: both defect
+}
+
+// StandardPayoff is the paper's payoff vector f[R,S,T,P] = [3,0,4,1].
+func StandardPayoff() Payoff { return Payoff{R: 3, S: 0, T: 4, P: 1} }
+
+// Validate checks the strict Prisoner's Dilemma ordering T > R > P > S and
+// the iterated-game condition 2R > T + S (mutual cooperation beats
+// alternating exploitation).
+func (p Payoff) Validate() error {
+	if !(p.T > p.R && p.R > p.P && p.P > p.S) {
+		return fmt.Errorf("game: payoff violates T > R > P > S: %+v", p)
+	}
+	if 2*p.R <= p.T+p.S {
+		return fmt.Errorf("game: payoff violates 2R > T+S: %+v", p)
+	}
+	return nil
+}
+
+// Score returns the payoffs to (me, opponent) for a joint move.
+func (p Payoff) Score(my, opp strategy.Move) (mine, theirs float64) {
+	switch {
+	case my == strategy.Cooperate && opp == strategy.Cooperate:
+		return p.R, p.R
+	case my == strategy.Cooperate && opp == strategy.Defect:
+		return p.S, p.T
+	case my == strategy.Defect && opp == strategy.Cooperate:
+		return p.T, p.S
+	default:
+		return p.P, p.P
+	}
+}
+
+// Table renders the 2x2 payoff matrix (rows = my move, cols = opponent's),
+// reproducing the paper's Table I.
+func (p Payoff) Table() [2][2][2]float64 {
+	var t [2][2][2]float64
+	for _, my := range []strategy.Move{strategy.Cooperate, strategy.Defect} {
+		for _, opp := range []strategy.Move{strategy.Cooperate, strategy.Defect} {
+			a, b := p.Score(my, opp)
+			t[my][opp] = [2]float64{a, b}
+		}
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+package game
+
+import (
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+func TestStandardPayoffMatchesTableI(t *testing.T) {
+	p := StandardPayoff()
+	if p.R != 3 || p.S != 0 || p.T != 4 || p.P != 1 {
+		t.Fatalf("standard payoff = %+v, want [3,0,4,1]", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreAllOutcomes(t *testing.T) {
+	p := StandardPayoff()
+	cases := []struct {
+		my, opp      strategy.Move
+		mine, theirs float64
+	}{
+		{strategy.Cooperate, strategy.Cooperate, 3, 3},
+		{strategy.Cooperate, strategy.Defect, 0, 4},
+		{strategy.Defect, strategy.Cooperate, 4, 0},
+		{strategy.Defect, strategy.Defect, 1, 1},
+	}
+	for _, c := range cases {
+		m, o := p.Score(c.my, c.opp)
+		if m != c.mine || o != c.theirs {
+			t.Errorf("Score(%v,%v) = %v,%v want %v,%v", c.my, c.opp, m, o, c.mine, c.theirs)
+		}
+	}
+}
+
+func TestScoreSymmetry(t *testing.T) {
+	p := StandardPayoff()
+	for _, my := range []strategy.Move{strategy.Cooperate, strategy.Defect} {
+		for _, opp := range []strategy.Move{strategy.Cooperate, strategy.Defect} {
+			a, b := p.Score(my, opp)
+			c, d := p.Score(opp, my)
+			if a != d || b != c {
+				t.Errorf("asymmetric payoff for (%v,%v)", my, opp)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsNonPD(t *testing.T) {
+	bad := []Payoff{
+		{R: 3, S: 0, T: 2, P: 1}, // T < R
+		{R: 1, S: 0, T: 4, P: 3}, // P > R
+		{R: 3, S: 5, T: 4, P: 1}, // S > P
+		{R: 2, S: 0, T: 5, P: 1}, // 2R < T+S
+		{R: 2, S: 0, T: 4, P: 1}, // 2R == T+S boundary
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid payoff %+v accepted", i, p)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	tbl := StandardPayoff().Table()
+	// Row C, col C -> (R,R); row D col C -> (T,S).
+	if tbl[0][0] != [2]float64{3, 3} {
+		t.Errorf("CC cell = %v", tbl[0][0])
+	}
+	if tbl[1][0] != [2]float64{4, 0} {
+		t.Errorf("DC cell = %v", tbl[1][0])
+	}
+	if tbl[0][1] != [2]float64{0, 4} {
+		t.Errorf("CD cell = %v", tbl[0][1])
+	}
+	if tbl[1][1] != [2]float64{1, 1} {
+		t.Errorf("DD cell = %v", tbl[1][1])
+	}
+}

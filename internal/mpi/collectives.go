@@ -1,0 +1,317 @@
+package mpi
+
+import "fmt"
+
+// Collective tags. Each collective call site within an SPMD program must be
+// reached by all ranks in the same order (the MPI rule); a per-world epoch
+// counter would not survive interleaving, so tags encode the collective kind
+// and ranks rendezvous by kind. Non-overtaking delivery per (source, tag)
+// keeps successive collectives of the same kind ordered.
+const (
+	tagBcast = internalTagBase + iota
+	tagReduce
+	tagGather
+	tagBarrierUp
+	tagBarrierDown
+	tagScatter
+)
+
+// Bcast broadcasts root's payload to every rank along a binomial tree
+// (log2 P rounds — the collective-network pattern the paper leans on).
+// Every rank receives the broadcast value; root receives its own payload
+// argument back. Non-root ranks may pass nil.
+func (c *Comm) Bcast(root int, payload any) (any, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	c.world.collOps.Add(1)
+	size := c.world.size
+	if size == 1 {
+		return payload, nil
+	}
+	vrank := (c.rank - root + size) % size
+	value := payload
+	// Standard binomial tree: at round `mask`, virtual ranks below mask hold
+	// the data and send it to vrank+mask; ranks in [mask, 2*mask) receive
+	// from their (unique, pinned) parent vrank-mask. Pinning the source —
+	// rather than wildcard-receiving — keeps back-to-back collectives with
+	// different roots correctly matched via per-(source,tag) FIFO order.
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank < mask {
+			child := vrank + mask
+			if child < size {
+				dst := (child + root) % size
+				if err := c.send(dst, tagBcast, value); err != nil {
+					return nil, err
+				}
+			}
+		} else if vrank < mask<<1 {
+			parent := (vrank - mask + root) % size
+			msg, err := c.recv(parent, tagBcast)
+			if err != nil {
+				return nil, err
+			}
+			value = msg.Payload
+		}
+	}
+	return value, nil
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	}
+	panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+}
+
+// Reduce combines every rank's value with op; the result is returned at
+// root (other ranks get 0). Binomial-tree reduction, log2 P rounds.
+func (c *Comm) Reduce(root int, value float64, op Op) (float64, error) {
+	if err := c.checkRank(root); err != nil {
+		return 0, err
+	}
+	c.world.collOps.Add(1)
+	size := c.world.size
+	vrank := (c.rank - root + size) % size
+	acc := value
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % size
+			if err := c.send(parent, tagReduce, acc); err != nil {
+				return 0, err
+			}
+			break
+		}
+		peer := vrank | mask
+		if peer < size {
+			msg, err := c.recv((peer+root)%size, tagReduce)
+			if err != nil {
+				return 0, err
+			}
+			acc = op.apply(acc, msg.Payload.(float64))
+		}
+		mask <<= 1
+	}
+	if c.rank == root {
+		return acc, nil
+	}
+	return 0, nil
+}
+
+// Allreduce combines every rank's value with op and returns the result on
+// all ranks (Reduce to rank 0 followed by Bcast).
+func (c *Comm) Allreduce(value float64, op Op) (float64, error) {
+	red, err := c.Reduce(0, value, op)
+	if err != nil {
+		return 0, err
+	}
+	out, err := c.Bcast(0, red)
+	if err != nil {
+		return 0, err
+	}
+	return out.(float64), nil
+}
+
+// ReduceSlice element-wise reduces equal-length float64 slices to root.
+// Non-root ranks receive nil.
+func (c *Comm) ReduceSlice(root int, values []float64, op Op) ([]float64, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	c.world.collOps.Add(1)
+	size := c.world.size
+	vrank := (c.rank - root + size) % size
+	acc := make([]float64, len(values))
+	copy(acc, values)
+	mask := 1
+	for mask < size {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % size
+			if err := c.send(parent, tagReduce, acc); err != nil {
+				return nil, err
+			}
+			break
+		}
+		peer := vrank | mask
+		if peer < size {
+			msg, err := c.recv((peer+root)%size, tagReduce)
+			if err != nil {
+				return nil, err
+			}
+			other := msg.Payload.([]float64)
+			if len(other) != len(acc) {
+				return nil, fmt.Errorf("mpi: ReduceSlice length mismatch %d vs %d", len(other), len(acc))
+			}
+			for i := range acc {
+				acc[i] = op.apply(acc[i], other[i])
+			}
+		}
+		mask <<= 1
+	}
+	if c.rank == root {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// Gather collects every rank's payload at root, indexed by rank. Non-root
+// ranks receive nil.
+func (c *Comm) Gather(root int, payload any) ([]any, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	c.world.collOps.Add(1)
+	if c.rank != root {
+		if err := c.send(root, tagGather, payload); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	// Receive exactly one message per source: a wildcard here could steal a
+	// fast rank's contribution to the *next* Gather while a slow rank's
+	// contribution to this one is still in flight.
+	out := make([]any, c.world.size)
+	out[root] = payload
+	for src := 0; src < c.world.size; src++ {
+		if src == root {
+			continue
+		}
+		msg, err := c.recv(src, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = msg.Payload
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's payload on all ranks (Gather + Bcast).
+func (c *Comm) Allgather(payload any) ([]any, error) {
+	gathered, err := c.Gather(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.Bcast(0, gathered)
+	if err != nil {
+		return nil, err
+	}
+	return out.([]any), nil
+}
+
+// Scatter distributes root's per-rank payloads; rank i receives
+// payloads[i]. Non-root ranks pass nil.
+func (c *Comm) Scatter(root int, payloads []any) (any, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	c.world.collOps.Add(1)
+	if c.rank == root {
+		if len(payloads) != c.world.size {
+			return nil, fmt.Errorf("mpi: Scatter needs %d payloads, got %d", c.world.size, len(payloads))
+		}
+		for dst := 0; dst < c.world.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := c.send(dst, tagScatter, payloads[dst]); err != nil {
+				return nil, err
+			}
+		}
+		return payloads[root], nil
+	}
+	msg, err := c.recv(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Payload, nil
+}
+
+// Barrier blocks until every rank has entered it: an up-sweep to rank 0
+// followed by a broadcast release (dissemination would be fewer rounds; the
+// tree matches the Blue Gene collective network the paper describes).
+func (c *Comm) Barrier() error {
+	c.world.collOps.Add(1)
+	size := c.world.size
+	vrank := c.rank
+	// Up-sweep: each node waits for its binomial-tree children then signals
+	// its parent.
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank&mask != 0 {
+			if err := c.send(vrank&^mask, tagBarrierUp, nil); err != nil {
+				return err
+			}
+			break
+		}
+		peer := vrank | mask
+		if peer < size {
+			if _, err := c.recv(peer, tagBarrierUp); err != nil {
+				return err
+			}
+		}
+	}
+	// Down-sweep release along the same binomial tree.
+	for mask := 1; mask < size; mask <<= 1 {
+		if vrank < mask {
+			child := vrank + mask
+			if child < size {
+				if err := c.send(child, tagBarrierDown, nil); err != nil {
+					return err
+				}
+			}
+		} else if vrank < mask<<1 {
+			if _, err := c.recv(vrank-mask, tagBarrierDown); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NaiveBcast is the ablation comparator for Bcast: root sends size-1
+// individual messages. Same result, O(P) serial sends instead of O(log P)
+// rounds; the ablation bench quantifies the difference the collective tree
+// makes.
+func (c *Comm) NaiveBcast(root int, payload any) (any, error) {
+	if err := c.checkRank(root); err != nil {
+		return nil, err
+	}
+	c.world.collOps.Add(1)
+	if c.rank == root {
+		for dst := 0; dst < c.world.size; dst++ {
+			if dst == root {
+				continue
+			}
+			if err := c.send(dst, tagBcast, payload); err != nil {
+				return nil, err
+			}
+		}
+		return payload, nil
+	}
+	msg, err := c.recv(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Payload, nil
+}

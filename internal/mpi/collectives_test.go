@@ -1,0 +1,414 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+var worldSizes = []int{1, 2, 3, 4, 5, 8, 13, 16, 32}
+
+func TestBcastAllSizesAllRoots(t *testing.T) {
+	for _, size := range worldSizes {
+		for root := 0; root < size; root += max(1, size/3) {
+			w := NewWorld(size)
+			err := w.Run(func(c *Comm) error {
+				var payload any
+				if c.Rank() == root {
+					payload = []float64{3.5, float64(root)}
+				}
+				got, err := c.Bcast(root, payload)
+				if err != nil {
+					return err
+				}
+				v, ok := got.([]float64)
+				if !ok || len(v) != 2 || v[0] != 3.5 || v[1] != float64(root) {
+					return fmt.Errorf("rank %d got %v", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("size %d root %d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestBcastSequenceDifferentRoots(t *testing.T) {
+	// Back-to-back broadcasts with different roots must stay correctly
+	// matched even when fast ranks race ahead.
+	w := NewWorld(8)
+	err := w.Run(func(c *Comm) error {
+		for iter := 0; iter < 50; iter++ {
+			root := iter % c.Size()
+			var p any
+			if c.Rank() == root {
+				p = iter * 100
+			}
+			got, err := c.Bcast(root, p)
+			if err != nil {
+				return err
+			}
+			if got.(int) != iter*100 {
+				return fmt.Errorf("iter %d: rank %d got %v", iter, c.Rank(), got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, size := range worldSizes {
+		w := NewWorld(size)
+		want := float64(size*(size-1)) / 2
+		err := w.Run(func(c *Comm) error {
+			got, err := c.Reduce(0, float64(c.Rank()), OpSum)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 && got != want {
+				return fmt.Errorf("sum = %v, want %v", got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestReduceMaxMinNonZeroRoot(t *testing.T) {
+	w := NewWorld(7)
+	err := w.Run(func(c *Comm) error {
+		mx, err := c.Reduce(3, float64(c.Rank()), OpMax)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 && mx != 6 {
+			return fmt.Errorf("max = %v", mx)
+		}
+		mn, err := c.Reduce(3, float64(c.Rank())+10, OpMin)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 && mn != 10 {
+			return fmt.Errorf("min = %v", mn)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, size := range []int{1, 2, 5, 16} {
+		w := NewWorld(size)
+		want := float64(size * 2)
+		err := w.Run(func(c *Comm) error {
+			got, err := c.Allreduce(2, OpSum)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				return fmt.Errorf("rank %d: allreduce = %v, want %v", c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestReduceSlice(t *testing.T) {
+	w := NewWorld(6)
+	err := w.Run(func(c *Comm) error {
+		vals := []float64{float64(c.Rank()), 1, -float64(c.Rank())}
+		got, err := c.ReduceSlice(2, vals, OpSum)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			want := []float64{15, 6, -15}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12 {
+					return fmt.Errorf("got %v, want %v", got, want)
+				}
+			}
+		} else if got != nil {
+			return fmt.Errorf("non-root got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSliceLengthMismatch(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		vals := make([]float64, 2+c.Rank())
+		_, err := c.ReduceSlice(0, vals, OpSum)
+		if c.Rank() == 0 && err == nil {
+			return fmt.Errorf("length mismatch not detected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherAllRoots(t *testing.T) {
+	for _, size := range []int{1, 2, 4, 9} {
+		for root := 0; root < size; root += max(1, size/2) {
+			w := NewWorld(size)
+			err := w.Run(func(c *Comm) error {
+				got, err := c.Gather(root, c.Rank()*c.Rank())
+				if err != nil {
+					return err
+				}
+				if c.Rank() != root {
+					if got != nil {
+						return fmt.Errorf("non-root got %v", got)
+					}
+					return nil
+				}
+				for i, v := range got {
+					if v.(int) != i*i {
+						return fmt.Errorf("slot %d = %v", i, v)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("size %d root %d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(c *Comm) error {
+		got, err := c.Allgather(fmt.Sprintf("r%d", c.Rank()))
+		if err != nil {
+			return err
+		}
+		if len(got) != 5 {
+			return fmt.Errorf("len %d", len(got))
+		}
+		for i, v := range got {
+			if v.(string) != fmt.Sprintf("r%d", i) {
+				return fmt.Errorf("slot %d = %v", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		var parts []any
+		if c.Rank() == 1 {
+			parts = []any{10, 11, 12, 13}
+		}
+		got, err := c.Scatter(1, parts)
+		if err != nil {
+			return err
+		}
+		if got.(int) != 10+c.Rank() {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterWrongLength(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Scatter(0, []any{1})
+			if err == nil {
+				return fmt.Errorf("short scatter accepted")
+			}
+			return fmt.Errorf("expected failure")
+		}
+		_, err := c.Scatter(0, nil)
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected propagated failure")
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// No rank may pass barrier k+1's entry before all ranks passed k.
+	const iters = 20
+	w := NewWorld(8)
+	var phase atomic.Int64
+	var entered [iters]atomic.Int64
+	err := w.Run(func(c *Comm) error {
+		for k := 0; k < iters; k++ {
+			entered[k].Add(1)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			// After the barrier, every rank must observe all 8 entries.
+			if got := entered[k].Load(); got != 8 {
+				return fmt.Errorf("barrier %d released with %d entries", k, got)
+			}
+			phase.Store(int64(k))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSingleRank(t *testing.T) {
+	w := NewWorld(1)
+	if err := w.Run(func(c *Comm) error { return c.Barrier() }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveBcastMatchesBcast(t *testing.T) {
+	w := NewWorld(9)
+	err := w.Run(func(c *Comm) error {
+		var p any
+		if c.Rank() == 4 {
+			p = 77
+		}
+		got, err := c.NaiveBcast(4, p)
+		if err != nil {
+			return err
+		}
+		if got.(int) != 77 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedCollectiveSequence(t *testing.T) {
+	// Interleave different collectives in the same program order on every
+	// rank: the exact pattern the simulation engine uses per generation.
+	w := NewWorld(8)
+	err := w.Run(func(c *Comm) error {
+		for gen := 0; gen < 30; gen++ {
+			pair, err := c.Bcast(0, func() any {
+				if c.Rank() == 0 {
+					return []int{gen % 8, (gen + 3) % 8}
+				}
+				return nil
+			}())
+			if err != nil {
+				return err
+			}
+			sel := pair.([]int)
+			if sel[0] != gen%8 {
+				return fmt.Errorf("gen %d: bad pair %v", gen, sel)
+			}
+			total, err := c.Allreduce(float64(c.Rank()), OpSum)
+			if err != nil {
+				return err
+			}
+			if total != 28 {
+				return fmt.Errorf("gen %d: allreduce %v", gen, total)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveCounters(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		_, err := c.Bcast(0, func() any {
+			if c.Rank() == 0 {
+				return 1
+			}
+			return nil
+		}())
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.CollectiveOps != 4 { // each rank counts its participation
+		t.Errorf("collective ops = %d, want 4", st.CollectiveOps)
+	}
+	if st.PointToPointMessages != 3 { // binomial tree: P-1 messages total
+		t.Errorf("bcast used %d messages, want 3", st.PointToPointMessages)
+	}
+}
+
+func BenchmarkBcastTree64(b *testing.B)  { benchBcast(b, 64, false) }
+func BenchmarkBcastNaive64(b *testing.B) { benchBcast(b, 64, true) }
+
+func benchBcast(b *testing.B, size int, naive bool) {
+	w := NewWorld(size)
+	payload := make([]float64, 128)
+	b.ResetTimer()
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			var p any
+			if c.Rank() == 0 {
+				p = payload
+			}
+			var err error
+			if naive {
+				_, err = c.NaiveBcast(0, p)
+			} else {
+				_, err = c.Bcast(0, p)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier16(b *testing.B) {
+	w := NewWorld(16)
+	err := w.Run(func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package mpi is a message-passing runtime with MPI-like semantics whose
+// ranks are goroutines. It is the substrate on which the parallel
+// evolutionary-game engine runs, standing in for the C/MPI layer the paper
+// used on Blue Gene/L and /P.
+//
+// Semantics follow MPI where it matters for the algorithm:
+//
+//   - Send is buffered (never blocks); Recv blocks until a matching message
+//     (by source and tag, with wildcards) arrives. Messages from the same
+//     (source, tag) pair are non-overtaking.
+//   - Isend/Irecv return Requests completed by Wait, modelling the paper's
+//     non-blocking point-to-point fitness returns over the torus.
+//   - Bcast, Reduce, Allreduce, Gather, Allgather, and Barrier are
+//     collectives implemented over binomial trees of point-to-point
+//     messages, modelling the Blue Gene collective network the paper uses
+//     for pair-selection announcements and global strategy updates.
+//
+// The runtime counts messages and bytes per rank; the perfmodel package uses
+// these counts to project communication cost onto the Blue Gene machine
+// models.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// internalTagBase marks tags reserved for collectives; user tags must be
+// non-negative and below this value.
+const internalTagBase = 1 << 30
+
+// ErrAborted is returned by communication calls after any rank in the world
+// has failed, so surviving ranks unwind instead of deadlocking.
+var ErrAborted = errors.New("mpi: world aborted")
+
+// Message is a received envelope.
+type Message struct {
+	Source  int
+	Tag     int
+	Payload any
+}
+
+// envelope is the in-flight form of a message.
+type envelope struct {
+	source  int
+	tag     int
+	payload any
+}
+
+// inbox is one rank's mailbox: an unbounded matching queue.
+type inbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []envelope
+	aborted bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(e envelope) {
+	ib.mu.Lock()
+	ib.queue = append(ib.queue, e)
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+func (ib *inbox) abort() {
+	ib.mu.Lock()
+	ib.aborted = true
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// take removes and returns the first message matching (src, tag); it blocks
+// until one arrives or the world aborts. The AnyTag wildcard matches user
+// tags only — collective-protocol messages live in their own context, as in
+// MPI, so a wildcard receive can never steal a broadcast or barrier packet.
+func (ib *inbox) take(src, tag int) (envelope, error) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for {
+		for i, e := range ib.queue {
+			tagOK := e.tag == tag || (tag == AnyTag && e.tag < internalTagBase)
+			if tagOK && (src == AnySource || e.source == src) {
+				ib.queue = append(ib.queue[:i], ib.queue[i+1:]...)
+				return e, nil
+			}
+		}
+		if ib.aborted {
+			return envelope{}, ErrAborted
+		}
+		ib.cond.Wait()
+	}
+}
+
+// Stats aggregates communication counters across a world.
+type Stats struct {
+	PointToPointMessages uint64
+	PointToPointBytes    uint64
+	CollectiveOps        uint64
+}
+
+// World is a set of ranks that can communicate. Create with NewWorld, run an
+// SPMD function on every rank with Run.
+type World struct {
+	size    int
+	boxes   []*inbox
+	p2pMsgs atomic.Uint64
+	p2pByte atomic.Uint64
+	collOps atomic.Uint64
+	aborted atomic.Bool
+}
+
+// NewWorld creates a world with the given number of ranks. It panics if
+// size < 1.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: world size %d < 1", size))
+	}
+	w := &World{size: size, boxes: make([]*inbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newInbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns the accumulated communication counters.
+func (w *World) Stats() Stats {
+	return Stats{
+		PointToPointMessages: w.p2pMsgs.Load(),
+		PointToPointBytes:    w.p2pByte.Load(),
+		CollectiveOps:        w.collOps.Load(),
+	}
+}
+
+// Run executes body once per rank, each on its own goroutine, and waits for
+// all to finish. If any rank returns an error or panics, the world is
+// aborted (pending and future Recvs fail with ErrAborted) and Run returns
+// the first error encountered.
+func (w *World) Run(body func(c *Comm) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.size)
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					w.abort()
+				}
+			}()
+			if err := body(&Comm{world: w, rank: rank}); err != nil {
+				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+				w.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *World) abort() {
+	if w.aborted.CompareAndSwap(false, true) {
+		for _, ib := range w.boxes {
+			ib.abort()
+		}
+	}
+}
+
+// Comm is one rank's communication handle.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+func (c *Comm) checkRank(r int) error {
+	if r < 0 || r >= c.world.size {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", r, c.world.size)
+	}
+	return nil
+}
+
+func (c *Comm) checkUserTag(tag int) error {
+	if tag < 0 || tag >= internalTagBase {
+		return fmt.Errorf("mpi: user tag %d out of range [0,%d)", tag, internalTagBase)
+	}
+	return nil
+}
+
+// send delivers without tag validation (collectives use internal tags).
+func (c *Comm) send(dst, tag int, payload any) error {
+	if err := c.checkRank(dst); err != nil {
+		return err
+	}
+	if c.world.aborted.Load() {
+		return ErrAborted
+	}
+	c.world.p2pMsgs.Add(1)
+	c.world.p2pByte.Add(payloadBytes(payload))
+	c.world.boxes[dst].put(envelope{source: c.rank, tag: tag, payload: payload})
+	return nil
+}
+
+// Send delivers payload to dst with the given tag. It is buffered: it
+// returns as soon as the message is enqueued. The payload is shared by
+// reference; senders must not mutate it afterwards.
+func (c *Comm) Send(dst, tag int, payload any) error {
+	if err := c.checkUserTag(tag); err != nil {
+		return err
+	}
+	return c.send(dst, tag, payload)
+}
+
+// Recv blocks until a message matching (src, tag) arrives. Use AnySource /
+// AnyTag as wildcards.
+func (c *Comm) Recv(src, tag int) (Message, error) {
+	if src != AnySource {
+		if err := c.checkRank(src); err != nil {
+			return Message{}, err
+		}
+	}
+	if tag != AnyTag {
+		if err := c.checkUserTag(tag); err != nil {
+			return Message{}, err
+		}
+	}
+	return c.recv(src, tag)
+}
+
+func (c *Comm) recv(src, tag int) (Message, error) {
+	e, err := c.world.boxes[c.rank].take(src, tag)
+	if err != nil {
+		return Message{}, err
+	}
+	return Message{Source: e.source, Tag: e.tag, Payload: e.payload}, nil
+}
+
+// Request is a pending non-blocking operation.
+type Request struct {
+	done chan struct{}
+	msg  Message
+	err  error
+}
+
+// Wait blocks until the operation completes and returns its result. For
+// completed Isends the Message is zero-valued.
+func (r *Request) Wait() (Message, error) {
+	<-r.done
+	return r.msg, r.err
+}
+
+// Isend starts a non-blocking send. With this runtime's buffered sends it
+// completes immediately; the Request form is kept so the algorithm code
+// reads like its MPI original.
+func (c *Comm) Isend(dst, tag int, payload any) *Request {
+	r := &Request{done: make(chan struct{})}
+	r.err = c.Send(dst, tag, payload)
+	close(r.done)
+	return r
+}
+
+// Irecv starts a non-blocking receive completed by Wait.
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.msg, r.err = c.Recv(src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// payloadBytes estimates the wire size of a payload for the communication
+// counters (and hence the perf model).
+func payloadBytes(p any) uint64 {
+	switch v := p.(type) {
+	case nil:
+		return 0
+	case []byte:
+		return uint64(len(v))
+	case []uint64:
+		return uint64(8 * len(v))
+	case []float64:
+		return uint64(8 * len(v))
+	case []int:
+		return uint64(8 * len(v))
+	case []uint32:
+		return uint64(4 * len(v))
+	case string:
+		return uint64(len(v))
+	case float64, int, uint64, int64, uint32, int32:
+		return 8
+	case bool, uint8, int8:
+		return 1
+	case Sizer:
+		return v.WireBytes()
+	default:
+		return 8
+	}
+}
+
+// Sizer lets payload types report their modelled wire size to the
+// communication counters.
+type Sizer interface {
+	WireBytes() uint64
+}

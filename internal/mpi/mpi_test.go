@@ -1,0 +1,401 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorldSize(t *testing.T) {
+	if NewWorld(4).Size() != 4 {
+		t.Fatal("size mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestRunAllRanksExecute(t *testing.T) {
+	var count atomic.Int64
+	w := NewWorld(8)
+	err := w.Run(func(c *Comm) error {
+		count.Add(1)
+		if c.Size() != 8 {
+			return fmt.Errorf("size %d", c.Size())
+		}
+		if c.Rank() < 0 || c.Rank() >= 8 {
+			return fmt.Errorf("rank %d", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 8 {
+		t.Fatalf("%d ranks ran", count.Load())
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, 42.0)
+		}
+		msg, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if msg.Source != 0 || msg.Tag != 7 || msg.Payload.(float64) != 42.0 {
+			return fmt.Errorf("bad message %+v", msg)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			got := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				msg, err := c.Recv(AnySource, AnyTag)
+				if err != nil {
+					return err
+				}
+				got[msg.Source] = true
+			}
+			if !got[1] || !got[2] {
+				return fmt.Errorf("sources seen: %v", got)
+			}
+			return nil
+		default:
+			return c.Send(0, c.Rank()*10, c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonOvertakingSameSourceTag(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		const n = 100
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 3, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			msg, err := c.Recv(0, 3)
+			if err != nil {
+				return err
+			}
+			if msg.Payload.(int) != i {
+				return fmt.Errorf("message %d overtaken by %d", i, msg.Payload)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvByTagSelectsAcrossQueue(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, "first"); err != nil {
+				return err
+			}
+			return c.Send(1, 2, "second")
+		}
+		// Receive tag 2 first even though tag 1 arrived earlier.
+		msg, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if msg.Payload.(string) != "second" {
+			return fmt.Errorf("tag-2 recv got %v", msg.Payload)
+		}
+		msg, err = c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if msg.Payload.(string) != "first" {
+			return fmt.Errorf("tag-1 recv got %v", msg.Payload)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWildcardDoesNotStealCollectiveTraffic(t *testing.T) {
+	// A wildcard receive posted while a broadcast is in flight must match
+	// only user messages; collective packets live in their own context.
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Rank 1 broadcasts; its tree packet to rank 0 arrives before
+			// the user message. The wildcard must skip it.
+			if err := c.Send(1, 9, "ignored"); err != nil {
+				return err
+			}
+			msg, err := c.Recv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if msg.Tag != 5 || msg.Payload.(string) != "user" {
+				return fmt.Errorf("wildcard matched %d/%v", msg.Tag, msg.Payload)
+			}
+			// Now join the broadcast; the packet must still be there.
+			v, err := c.Bcast(1, nil)
+			if err != nil {
+				return err
+			}
+			if v.(int) != 77 {
+				return fmt.Errorf("bcast got %v", v)
+			}
+			return nil
+		}
+		// Rank 1: wait for the go signal, start the bcast (enqueues the
+		// tree packet at rank 0), then send the user message.
+		if _, err := c.Recv(0, 9); err != nil {
+			return err
+		}
+		if _, err := c.Bcast(1, 77); err != nil {
+			return err
+		}
+		return c.Send(0, 5, "user")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecv(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 4, []float64{1, 2, 3})
+			_, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 4)
+		msg, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		v := msg.Payload.([]float64)
+		if len(v) != 3 || v[2] != 3 {
+			return fmt.Errorf("bad payload %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvInvalidArguments(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if _, err := c.Recv(5, 1); err == nil {
+			return errors.New("recv from rank 5 accepted")
+		}
+		if _, err := c.Recv(-2, 1); err == nil {
+			return errors.New("recv from rank -2 accepted")
+		}
+		if _, err := c.Recv(1, -5); err == nil {
+			return errors.New("recv with tag -5 accepted")
+		}
+		if _, err := c.Recv(1, internalTagBase+1); err == nil {
+			return errors.New("recv with internal tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveInvalidRoot(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if _, err := c.Bcast(9, nil); err == nil {
+			return errors.New("bcast root 9 accepted")
+		}
+		if _, err := c.Reduce(-1, 1, OpSum); err == nil {
+			return errors.New("reduce root -1 accepted")
+		}
+		if _, err := c.ReduceSlice(7, []float64{1}, OpSum); err == nil {
+			return errors.New("reduce-slice root 7 accepted")
+		}
+		if _, err := c.Gather(5, nil); err == nil {
+			return errors.New("gather root 5 accepted")
+		}
+		if _, err := c.Scatter(4, nil); err == nil {
+			return errors.New("scatter root 4 accepted")
+		}
+		if _, err := c.NaiveBcast(4, nil); err == nil {
+			return errors.New("naive bcast root 4 accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(5, 1, nil); err == nil {
+				return errors.New("send to rank 5 accepted")
+			}
+			if err := c.Send(-1, 1, nil); err == nil {
+				return errors.New("send to rank -1 accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserTagRangeEnforced(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.Send(1, -5, nil); err == nil {
+			return errors.New("negative tag accepted")
+		}
+		if err := c.Send(1, internalTagBase, nil); err == nil {
+			return errors.New("internal tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankErrorAbortsWorld(t *testing.T) {
+	w := NewWorld(4)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			return errors.New("boom")
+		}
+		// Other ranks block on a Recv that will never be satisfied; the
+		// abort must release them instead of deadlocking the test.
+		_, err := c.Recv(AnySource, 9)
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("expected ErrAborted, got %v", err)
+		}
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Fatalf("Run error = %v, want boom", err)
+	}
+}
+
+func TestRankPanicAbortsWorld(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kaboom")
+		}
+		_, err := c.Recv(AnySource, 1)
+		if !errors.Is(err, ErrAborted) {
+			return fmt.Errorf("want ErrAborted, got %v", err)
+		}
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "kaboom") {
+		t.Fatalf("Run error = %v", err)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, []float64{1, 2, 3, 4})
+		}
+		_, err := c.Recv(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.PointToPointMessages != 1 {
+		t.Errorf("messages = %d, want 1", st.PointToPointMessages)
+	}
+	if st.PointToPointBytes != 32 {
+		t.Errorf("bytes = %d, want 32", st.PointToPointBytes)
+	}
+}
+
+func TestPayloadBytes(t *testing.T) {
+	cases := []struct {
+		p    any
+		want uint64
+	}{
+		{nil, 0},
+		{[]byte{1, 2, 3}, 3},
+		{[]uint64{1, 2}, 16},
+		{[]float64{1}, 8},
+		{[]int{1, 2, 3}, 24},
+		{[]uint32{1}, 4},
+		{"hello", 5},
+		{3.14, 8},
+		{int(7), 8},
+		{true, 1},
+		{sizedPayload{}, 99},
+		{struct{}{}, 8},
+	}
+	for _, c := range cases {
+		if got := payloadBytes(c.p); got != c.want {
+			t.Errorf("payloadBytes(%T) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+type sizedPayload struct{}
+
+func (sizedPayload) WireBytes() uint64 { return 99 }
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestStressMixedTraffic drives many ranks through interleaved
+// point-to-point rings, wildcard receives, and collectives for many rounds;
+// run under -race this shakes out ordering and matching bugs.
+func TestStressMixedTraffic(t *testing.T) {
+	const (
+		size   = 12
+		rounds = 60
+	)
+	w := NewWorld(size)
+	err := w.Run(func(c *Comm) error {
+		src := rng.New(uint64(c.Rank()) + 1)
+		for r := 0; r < rounds; r++ {
+			// Ring shift: everyone sends to the right, receives from the
+			// left, with a payload that encodes (round, sender).
+			right := (c.Rank() + 1) % size
+			left := (c.Rank() - 1 + size) % size
+			if err := c.Send(right, 10, [2]int{r, c.Rank()}); err != nil {
+				return err
+			}
+			msg, err := c.Recv(left, 10)
+			if err != nil {
+				return err
+			}
+			got := msg.Payload.([2]int)
+			if got[0] != r || got[1] != left {
+				return fmt.Errorf("round %d: ring got %v from %d", r, got, msg.Source)
+			}
+
+			// Random extra traffic to rank 0 with wildcard receive there.
+			if c.Rank() != 0 {
+				if src.Bool() {
+					if err := c.Send(0, 20, c.Rank()*1000+r); err != nil {
+						return err
+					}
+				} else {
+					if err := c.Send(0, 21, c.Rank()*1000+r); err != nil {
+						return err
+					}
+				}
+			} else {
+				for i := 0; i < size-1; i++ {
+					if _, err := c.Recv(AnySource, AnyTag); err != nil {
+						return err
+					}
+				}
+			}
+
+			// A collective sequence with a rotating root.
+			root := r % size
+			var p any
+			if c.Rank() == root {
+				p = r * r
+			}
+			v, err := c.Bcast(root, p)
+			if err != nil {
+				return err
+			}
+			if v.(int) != r*r {
+				return fmt.Errorf("round %d: bcast got %v", r, v)
+			}
+			sum, err := c.Allreduce(float64(c.Rank()), OpSum)
+			if err != nil {
+				return err
+			}
+			if sum != float64(size*(size-1))/2 {
+				return fmt.Errorf("round %d: allreduce %v", r, sum)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressManyWorlds runs several independent worlds concurrently to
+// verify complete isolation between them.
+func TestStressManyWorlds(t *testing.T) {
+	done := make(chan error, 8)
+	for wi := 0; wi < 8; wi++ {
+		go func(wi int) {
+			w := NewWorld(4)
+			done <- w.Run(func(c *Comm) error {
+				for r := 0; r < 30; r++ {
+					sum, err := c.Allreduce(float64(wi), OpSum)
+					if err != nil {
+						return err
+					}
+					if sum != float64(4*wi) {
+						return fmt.Errorf("world %d leaked: sum %v", wi, sum)
+					}
+				}
+				return nil
+			})
+		}(wi)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestIrecvOutstanding posts receives before the matching sends exist.
+func TestIrecvOutstanding(t *testing.T) {
+	w := NewWorld(3)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Post both receives first, then trigger the sends with a
+			// barrier release.
+			r1 := c.Irecv(1, 5)
+			r2 := c.Irecv(2, 5)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			m1, err := r1.Wait()
+			if err != nil {
+				return err
+			}
+			m2, err := r2.Wait()
+			if err != nil {
+				return err
+			}
+			if m1.Payload.(int) != 100 || m2.Payload.(int) != 200 {
+				return fmt.Errorf("got %v %v", m1.Payload, m2.Payload)
+			}
+			return nil
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		return c.Send(0, 5, c.Rank()*100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

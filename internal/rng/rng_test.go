@@ -1,0 +1,406 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	s := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded stream produced duplicates: %d unique of 100", len(seen))
+	}
+}
+
+func TestDeriveIsPure(t *testing.T) {
+	m := New(7)
+	a := m.Derive(3, 5)
+	b := m.Derive(3, 5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Derive with identical keys gave different streams")
+		}
+	}
+}
+
+func TestDeriveDoesNotAdvanceParent(t *testing.T) {
+	m1 := New(7)
+	m2 := New(7)
+	_ = m1.Derive(1)
+	_ = m1.Derive(2, 3)
+	for i := 0; i < 10; i++ {
+		if m1.Uint64() != m2.Uint64() {
+			t.Fatal("Derive advanced the parent stream")
+		}
+	}
+}
+
+func TestDeriveKeysIndependent(t *testing.T) {
+	m := New(9)
+	a := m.Derive(0)
+	b := m.Derive(1)
+	c := m.Derive(0, 0)
+	streams := []*Source{a, b, c}
+	outs := make([][]uint64, len(streams))
+	for i, s := range streams {
+		for j := 0; j < 50; j++ {
+			outs[i] = append(outs[i], s.Uint64())
+		}
+	}
+	for i := 0; i < len(outs); i++ {
+		for j := i + 1; j < len(outs); j++ {
+			same := 0
+			for k := range outs[i] {
+				if outs[i][k] == outs[j][k] {
+					same++
+				}
+			}
+			if same > 0 {
+				t.Errorf("streams %d and %d collide at %d positions", i, j, same)
+			}
+		}
+	}
+}
+
+func TestDeriveKeyOrderMatters(t *testing.T) {
+	m := New(11)
+	a := m.Derive(1, 2)
+	b := m.Derive(2, 1)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("key order should distinguish derived streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	s := New(6)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestPairDistinct(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10000; i++ {
+		a, b := s.Pair(5)
+		if a == b {
+			t.Fatal("Pair returned equal indices")
+		}
+		if a < 0 || a >= 5 || b < 0 || b >= 5 {
+			t.Fatalf("Pair out of range: %d,%d", a, b)
+		}
+	}
+}
+
+func TestPairCoversAllOrderedPairs(t *testing.T) {
+	s := New(9)
+	seen := map[[2]int]int{}
+	const n = 4
+	for i := 0; i < 50000; i++ {
+		a, b := s.Pair(n)
+		seen[[2]int{a, b}]++
+	}
+	if len(seen) != n*(n-1) {
+		t.Fatalf("Pair covered %d ordered pairs, want %d", len(seen), n*(n-1))
+	}
+	want := 50000.0 / float64(n*(n-1))
+	for p, c := range seen {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("pair %v count %d deviates from %v", p, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(10)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n%50) + 2
+		s := New(seed)
+		vals := make([]int, m)
+		for i := range vals {
+			vals[i] = i
+		}
+		s.Shuffle(m, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		seen := make([]bool, m)
+		for _, v := range vals {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 1000; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	s := New(12)
+	const p, n = 0.3, 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) rate = %v", p, got)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10; i++ {
+		s.Uint64()
+	}
+	st := s.State()
+	want := make([]uint64, 20)
+	for i := range want {
+		want[i] = s.Uint64()
+	}
+	var r Source
+	r.SetState(st)
+	for i := range want {
+		if got := r.Uint64(); got != want[i] {
+			t.Fatalf("restored stream diverged at %d", i)
+		}
+	}
+}
+
+func TestSetStateZeroGuard(t *testing.T) {
+	var s Source
+	s.SetState([4]uint64{0, 0, 0, 0})
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("all-zero state not repaired")
+	}
+}
+
+func TestJumpDisjoint(t *testing.T) {
+	a := New(14)
+	b := New(14)
+	b.Jump()
+	// After a jump the two streams should not collide over a short window.
+	outs := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		outs[a.Uint64()] = true
+	}
+	for i := 0; i < 1000; i++ {
+		if outs[b.Uint64()] {
+			t.Fatal("jumped stream collided with base stream")
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(15)
+	const lambda, n = 2.0, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exponential(lambda)
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/lambda) > 0.01 {
+		t.Fatalf("Exponential mean %v, want %v", mean, 1/lambda)
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(16)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("Normal mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Normal variance %v, want ~1", variance)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	trues := 0
+	for i := 0; i < n; i++ {
+		if s.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)/n-0.5) > 0.01 {
+		t.Fatalf("Bool true-rate %v", float64(trues)/n)
+	}
+}
+
+// Property: Uint64n(n) < n for arbitrary positive n.
+func TestUint64nProperty(t *testing.T) {
+	f := func(seed, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			if s.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var x uint64
+	for i := 0; i < b.N; i++ {
+		x = s.Uint64()
+	}
+	_ = x
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var x int
+	for i := 0; i < b.N; i++ {
+		x = s.Intn(1000)
+	}
+	_ = x
+}
+
+func BenchmarkDerive(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Derive(uint64(i), uint64(i*3))
+	}
+}

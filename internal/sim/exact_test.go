@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExactModeValidation(t *testing.T) {
+	cfg := testConfig(1, 4, 5)
+	cfg.ExactPayoffs = true
+	cfg.UseSearchEngine = true
+	if _, err := RunSequential(cfg); err == nil {
+		t.Fatal("exact + search accepted")
+	}
+}
+
+func TestExactModeRuns(t *testing.T) {
+	cfg := testConfig(1, 8, 60)
+	cfg.ExactPayoffs = true
+	cfg.Kind = MixedStrategies
+	cfg.Rules.ErrorRate = 0.01
+	cfg.Seed = 31
+	res, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.FinalFitness {
+		if f < 0 || f > 4 {
+			t.Fatalf("fitness %d = %v", i, f)
+		}
+	}
+	if res.Counters.GamesPlayed == 0 {
+		t.Fatal("no evaluations counted")
+	}
+}
+
+func TestExactModeParallelParity(t *testing.T) {
+	cfg := testConfig(1, 9, 40)
+	cfg.ExactPayoffs = true
+	cfg.Kind = MixedStrategies
+	cfg.Rules.ErrorRate = 0.02
+	cfg.Seed = 32
+	seq, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTrajectory(t, seq, par)
+}
+
+func TestExactModeAgreesWithLongSampledGames(t *testing.T) {
+	// With pure strategies and no errors, exact payoffs equal the cycle
+	// average; sampled 200-round games may differ only by the transient.
+	// Compare initial fitness landscapes: the two modes must rank SSets
+	// nearly identically at generation zero.
+	mk := func(exact bool, rounds int) []float64 {
+		cfg := testConfig(1, 10, 1)
+		cfg.Seed = 33
+		cfg.PCRate = 0
+		cfg.Mu = 0
+		cfg.ExactPayoffs = exact
+		cfg.Rules.Rounds = rounds
+		res, err := RunSequential(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalFitness
+	}
+	exact := mk(true, 200)
+	sampled := mk(false, 5000) // long matches shrink the transient's weight
+	for i := range exact {
+		if math.Abs(exact[i]-sampled[i]) > 0.05 {
+			t.Fatalf("SSet %d: exact %v vs long-sampled %v", i, exact[i], sampled[i])
+		}
+	}
+}
+
+func TestExactModeDeterministicAcrossModes(t *testing.T) {
+	// Exact payoffs remove all game randomness, so incremental and full
+	// recompute give identical trajectories even for mixed strategies with
+	// errors (the caching substitution's noise source is gone).
+	base := testConfig(1, 8, 80)
+	base.Seed = 34
+	base.Kind = MixedStrategies
+	base.Rules.ErrorRate = 0.01
+	base.ExactPayoffs = true
+
+	inc := base
+	full := base
+	full.FullRecompute = true
+	a, err := RunSequential(inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSequential(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Final {
+		if !a.Final[i].Equal(b.Final[i]) {
+			t.Fatalf("strategy %d differs between evaluation modes", i)
+		}
+	}
+	if a.Counters.Adoptions != b.Counters.Adoptions {
+		t.Fatal("adoption counts differ between evaluation modes")
+	}
+}

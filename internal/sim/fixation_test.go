@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/strategy"
+)
+
+// TestFixationMatchesAnalyticPrediction cross-validates the agent engine
+// against the closed-form fixation probability of the Fermi pairwise
+// comparison process: a lone ALLD mutant among ALLC residents must fixate
+// at the analytically predicted rate over many independent trials.
+func TestFixationMatchesAnalyticPrediction(t *testing.T) {
+	const (
+		n      = 6
+		beta   = 0.5
+		trials = 300
+	)
+	sp := strategy.NewSpace(1)
+	alld, allc := strategy.AllD(sp), strategy.AllC(sp)
+
+	want, err := analysis.FixationProbability(
+		analysis.FixationConfig{N: n, Beta: beta}, alld, allc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixed, resolved := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		cfg := DefaultConfig(1, n)
+		cfg.Generations = 3000
+		cfg.PCRate = 1.0
+		cfg.Mu = 0
+		cfg.Beta = beta
+		cfg.AllowWorseAdoption = true
+		cfg.ExactPayoffs = true
+		cfg.Seed = uint64(1000 + trial)
+		cfg.SampleStride = cfg.Generations // minimise observation overhead
+		seeds := make([]strategy.Strategy, n)
+		seeds[0] = alld
+		for i := 1; i < n; i++ {
+			seeds[i] = allc
+		}
+		cfg.InitialStrategies = seeds
+		res, err := RunSequential(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := res.FinalAbundance()
+		if a.Distinct() != 1 {
+			continue // unresolved within the horizon (rare); skip
+		}
+		resolved++
+		if res.Final[0].Equal(alld) {
+			fixed++
+		}
+	}
+	if resolved < trials*9/10 {
+		t.Fatalf("only %d/%d trials resolved", resolved, trials)
+	}
+	got := float64(fixed) / float64(resolved)
+	// Binomial noise at ~300 trials: 3 sigma ~ 0.086.
+	if math.Abs(got-want) > 0.09 {
+		t.Fatalf("measured fixation %v over %d trials, analytic %v", got, resolved, want)
+	}
+}
+
+// TestFixationNeutralDrift cross-validates the neutral case: two
+// payoff-identical strategies (TFT and ALLC without errors) fixate at the
+// 1/N benchmark.
+func TestFixationNeutralDrift(t *testing.T) {
+	const (
+		n      = 4
+		trials = 300
+	)
+	sp := strategy.NewSpace(1)
+	tft, allc := strategy.TFT(sp), strategy.AllC(sp)
+	fixed, resolved := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		cfg := DefaultConfig(1, n)
+		cfg.Generations = 4000
+		cfg.PCRate = 1.0
+		cfg.Mu = 0
+		cfg.Beta = 1
+		cfg.AllowWorseAdoption = true
+		cfg.ExactPayoffs = true
+		cfg.Seed = uint64(5000 + trial)
+		cfg.SampleStride = cfg.Generations
+		seeds := make([]strategy.Strategy, n)
+		seeds[0] = tft
+		for i := 1; i < n; i++ {
+			seeds[i] = allc
+		}
+		cfg.InitialStrategies = seeds
+		res, err := RunSequential(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FinalAbundance().Distinct() != 1 {
+			continue
+		}
+		resolved++
+		if res.Final[0].Equal(tft) {
+			fixed++
+		}
+	}
+	if resolved < trials*9/10 {
+		t.Fatalf("only %d/%d trials resolved", resolved, trials)
+	}
+	got := float64(fixed) / float64(resolved)
+	want := 1.0 / n
+	if math.Abs(got-want) > 0.08 {
+		t.Fatalf("neutral fixation %v over %d trials, want %v", got, resolved, want)
+	}
+}

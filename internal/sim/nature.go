@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"repro/internal/rng"
+	"repro/internal/strategy"
+)
+
+// Derivation keys for the independent random streams of a run. Both engines
+// derive the same streams from the master seed, which is what makes the
+// sequential and parallel trajectories bit-identical.
+const (
+	keyNature = 0x4E41 // Nature Agent decisions
+	keyMutant = 0x4D55 // mutant strategy generation
+)
+
+// decision is the Nature Agent's plan for one generation, computed before
+// fitness is consulted: whether a PC event fires and which SSets it
+// compares, and whether a mutation fires and which SSet it hits. The
+// adoption itself depends on fitness and is resolved in applyPC.
+type decision struct {
+	pc               bool
+	teacher, learner int
+	mutate           bool
+	mutant           int
+}
+
+// natureDecision draws generation gen's plan from the master seed. The
+// stream is derived per generation, so the plan is independent of engine
+// and rank layout.
+func natureDecision(cfg *Config, master *rng.Source, gen int) decision {
+	src := master.Derive(keyNature, uint64(gen))
+	var d decision
+	if src.Bernoulli(cfg.PCRate) {
+		d.pc = true
+		d.teacher, d.learner = src.Pair(cfg.NumSSets)
+	}
+	if src.Bernoulli(cfg.Mu) {
+		d.mutate = true
+		d.mutant = src.Intn(cfg.NumSSets)
+	}
+	return d
+}
+
+// resolveAdoption decides whether the learner adopts the teacher's strategy
+// given their fitness values, per the paper's §IV-B: the Fermi probability
+// (Equation 1), gated — unless AllowWorseAdoption — on the teacher strictly
+// outperforming the learner. The random draw comes from the same
+// per-generation Nature stream, offset so it cannot collide with
+// natureDecision's draws.
+func resolveAdoption(cfg *Config, master *rng.Source, gen int, piT, piL float64) bool {
+	if !cfg.AllowWorseAdoption && piT <= piL {
+		return false
+	}
+	src := master.Derive(keyNature, uint64(gen), 1)
+	return src.Bernoulli(Fermi(cfg.Beta, piT, piL))
+}
+
+// mutantStrategy generates the replacement strategy for generation gen's
+// mutation event (the paper's gen_new_strat). Deriving by generation keeps
+// the mutant identical across engines.
+func mutantStrategy(cfg *Config, master *rng.Source, sp strategy.Space, gen int) strategy.Strategy {
+	src := master.Derive(keyMutant, uint64(gen))
+	return randomStrategy(cfg.Kind, sp, src)
+}

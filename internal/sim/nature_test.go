@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/strategy"
+)
+
+func TestNatureDecisionDeterministic(t *testing.T) {
+	cfg := testConfig(1, 16, 0)
+	_ = cfg.Validate()
+	m1 := rng.New(5)
+	m2 := rng.New(5)
+	for gen := 0; gen < 200; gen++ {
+		a := natureDecision(&cfg, m1, gen)
+		b := natureDecision(&cfg, m2, gen)
+		if a != b {
+			t.Fatalf("gen %d: decisions differ: %+v vs %+v", gen, a, b)
+		}
+	}
+}
+
+func TestNatureDecisionIndependentOfCallOrder(t *testing.T) {
+	// Decisions are keyed by absolute generation: querying gen 50 before
+	// gen 10 must not change either.
+	cfg := testConfig(1, 16, 0)
+	_ = cfg.Validate()
+	m := rng.New(6)
+	d50 := natureDecision(&cfg, m, 50)
+	d10 := natureDecision(&cfg, m, 10)
+	m2 := rng.New(6)
+	if natureDecision(&cfg, m2, 10) != d10 {
+		t.Fatal("gen-10 decision depends on call order")
+	}
+	if natureDecision(&cfg, m2, 50) != d50 {
+		t.Fatal("gen-50 decision depends on call order")
+	}
+}
+
+func TestNatureDecisionRates(t *testing.T) {
+	cfg := testConfig(1, 16, 0)
+	cfg.PCRate = 0.25
+	cfg.Mu = 0.10
+	_ = cfg.Validate()
+	m := rng.New(7)
+	const gens = 40000
+	pc, mut := 0, 0
+	for gen := 0; gen < gens; gen++ {
+		d := natureDecision(&cfg, m, gen)
+		if d.pc {
+			pc++
+			if d.teacher == d.learner {
+				t.Fatal("teacher == learner")
+			}
+			if d.teacher < 0 || d.teacher >= 16 || d.learner < 0 || d.learner >= 16 {
+				t.Fatal("selection out of range")
+			}
+		}
+		if d.mutate {
+			mut++
+			if d.mutant < 0 || d.mutant >= 16 {
+				t.Fatal("mutant out of range")
+			}
+		}
+	}
+	if math.Abs(float64(pc)/gens-0.25) > 0.01 {
+		t.Errorf("PC rate %v, want 0.25", float64(pc)/gens)
+	}
+	if math.Abs(float64(mut)/gens-0.10) > 0.01 {
+		t.Errorf("mutation rate %v, want 0.10", float64(mut)/gens)
+	}
+}
+
+func TestNatureDecisionZeroRates(t *testing.T) {
+	cfg := testConfig(1, 8, 0)
+	cfg.PCRate = 0
+	cfg.Mu = 0
+	_ = cfg.Validate()
+	m := rng.New(8)
+	for gen := 0; gen < 1000; gen++ {
+		d := natureDecision(&cfg, m, gen)
+		if d.pc || d.mutate {
+			t.Fatal("events at zero rates")
+		}
+	}
+}
+
+func TestResolveAdoptionGate(t *testing.T) {
+	cfg := testConfig(1, 8, 0)
+	cfg.Beta = 5
+	_ = cfg.Validate()
+	m := rng.New(9)
+	// Paper gate: teacher not strictly better -> never adopt.
+	for gen := 0; gen < 500; gen++ {
+		if resolveAdoption(&cfg, m, gen, 1.0, 1.0) {
+			t.Fatal("adopted with equal payoffs under the gate")
+		}
+		if resolveAdoption(&cfg, m, gen, 0.5, 2.0) {
+			t.Fatal("adopted a worse teacher under the gate")
+		}
+	}
+	// Teacher much better: adoption rate near Fermi(beta*delta) ~ 1.
+	adopted := 0
+	for gen := 0; gen < 2000; gen++ {
+		if resolveAdoption(&cfg, m, gen, 3.0, 1.0) {
+			adopted++
+		}
+	}
+	if rate := float64(adopted) / 2000; rate < 0.98 {
+		t.Fatalf("strongly better teacher adopted at rate %v", rate)
+	}
+}
+
+func TestResolveAdoptionUnconditionalFermi(t *testing.T) {
+	cfg := testConfig(1, 8, 0)
+	cfg.Beta = 1
+	cfg.AllowWorseAdoption = true
+	_ = cfg.Validate()
+	m := rng.New(10)
+	// Equal payoffs: adoption rate ~ 1/2 (neutral drift).
+	adopted := 0
+	const trials = 20000
+	for gen := 0; gen < trials; gen++ {
+		if resolveAdoption(&cfg, m, gen, 1.0, 1.0) {
+			adopted++
+		}
+	}
+	if rate := float64(adopted) / trials; math.Abs(rate-0.5) > 0.02 {
+		t.Fatalf("neutral adoption rate %v, want ~0.5", rate)
+	}
+	// Worse teacher: rate ~ Fermi(-1) = 0.269.
+	adopted = 0
+	for gen := 0; gen < trials; gen++ {
+		if resolveAdoption(&cfg, m, gen, 0.0, 1.0) {
+			adopted++
+		}
+	}
+	want := Fermi(1, 0, 1)
+	if rate := float64(adopted) / trials; math.Abs(rate-want) > 0.02 {
+		t.Fatalf("worse-teacher adoption rate %v, want ~%v", rate, want)
+	}
+}
+
+func TestMutantStrategyDeterministicPerGeneration(t *testing.T) {
+	cfg := testConfig(1, 8, 0)
+	_ = cfg.Validate()
+	sp := strategy.NewSpace(1)
+	a := mutantStrategy(&cfg, rng.New(11), sp, 42)
+	b := mutantStrategy(&cfg, rng.New(11), sp, 42)
+	if !a.Equal(b) {
+		t.Fatal("mutant differs for identical (seed, generation)")
+	}
+	c := mutantStrategy(&cfg, rng.New(11), sp, 43)
+	if a.Equal(c) {
+		t.Fatal("mutants identical across generations")
+	}
+}
+
+func TestMutantStrategyKind(t *testing.T) {
+	cfg := testConfig(1, 8, 0)
+	_ = cfg.Validate()
+	sp := strategy.NewSpace(1)
+	if _, ok := mutantStrategy(&cfg, rng.New(1), sp, 0).(*strategy.Pure); !ok {
+		t.Fatal("pure config produced non-pure mutant")
+	}
+	cfg.Kind = MixedStrategies
+	if _, ok := mutantStrategy(&cfg, rng.New(1), sp, 0).(*strategy.Mixed); !ok {
+		t.Fatal("mixed config produced non-mixed mutant")
+	}
+}

@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/game"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+)
+
+// Point-to-point tags used by the parallel engine.
+const (
+	tagFitness = 1 // owner -> Nature: payoff segment of a selected SSet
+	tagRows    = 2 // owner -> Nature: final payoff block
+)
+
+// The work decomposition follows both of the paper's parallelism levels:
+// the S×(S-1) matches of a generation form a flat, i-major list of game
+// pairs, block-distributed over the worker ranks. When there are fewer
+// workers than SSets a worker owns several whole rows (SSets); when there
+// are more, a single SSet's row spans several workers — the paper's
+// "agents within each strategy group" level, where each agent handles s/a
+// opponents ("each processor handles the agents of between 1/2 to 8 full
+// SSets", §VI-B).
+//
+// Bit-exact parity with the sequential engine is preserved by reassembling
+// fitness in j-order: sequential fitness sums a row's payoffs left to
+// right, so the Nature Agent concatenates the owners' contiguous segments
+// in ascending column order and folds them in exactly that order.
+
+// pairToIJ unflattens pair index i*(S-1)+jIdx into (i, j), with jIdx
+// skipping the diagonal.
+func pairToIJ(s, pair int) (i, j int) {
+	i = pair / (s - 1)
+	jIdx := pair % (s - 1)
+	j = jIdx
+	if jIdx >= i {
+		j = jIdx + 1
+	}
+	return i, j
+}
+
+// blockRange returns worker w's contiguous range of the n work items
+// (block-distributed, remainders to the leading workers).
+func blockRange(n, nWorkers, w int) (lo, hi int) {
+	base := n / nWorkers
+	rem := n % nWorkers
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// rowSegment is one worker's contiguous piece of an SSet's game row.
+type rowSegment struct {
+	worker int // worker index (0-based)
+	lo, hi int // pair-index range within the global flat list
+}
+
+// rowSegments lists, in ascending column order, the workers owning pieces
+// of SSet i's row of games.
+func rowSegments(s, nWorkers, i int) []rowSegment {
+	rowLo := i * (s - 1)
+	rowHi := rowLo + (s - 1)
+	var segs []rowSegment
+	for w := 0; w < nWorkers; w++ {
+		lo, hi := blockRange(s*(s-1), nWorkers, w)
+		if hi <= rowLo || lo >= rowHi {
+			continue
+		}
+		segs = append(segs, rowSegment{worker: w, lo: max(lo, rowLo), hi: min(hi, rowHi)})
+	}
+	return segs
+}
+
+// update is the Nature Agent's end-of-generation broadcast: the strategy
+// changes every rank must apply to its global view (paper §V-B, "global
+// strategy updates" over the collective network).
+type update struct {
+	Adopted          bool
+	Learner, Teacher int
+	Mutated          bool
+	Mutant           int
+	MutantStrategy   strategy.Strategy
+	// MeanFitnessWanted tells workers to join a fitness reduction for the
+	// observability series this generation.
+	MeanFitnessWanted bool
+}
+
+// WireBytes models the broadcast payload size for the communication
+// counters: a few header words plus the mutant strategy table when present.
+func (u update) WireBytes() uint64 {
+	n := uint64(6 * 8)
+	if u.MutantStrategy != nil {
+		states := uint64(u.MutantStrategy.Space().NumStates())
+		if _, ok := u.MutantStrategy.(*strategy.Mixed); ok {
+			n += states * 8
+		} else {
+			n += states / 8
+		}
+	}
+	return n
+}
+
+// selection is the Nature Agent's mid-generation broadcast: which SSets are
+// being compared (paper: "alerting of the SSets selected for pairwise
+// comparison"). PC false means no comparison this generation.
+type selection struct {
+	PC               bool
+	Teacher, Learner int
+}
+
+// WireBytes models the selection broadcast payload.
+func (selection) WireBytes() uint64 { return 3 * 8 }
+
+// RunParallel executes the simulation on a world of `ranks` goroutine
+// ranks: rank 0 is the Nature Agent, ranks 1..ranks-1 own block-distributed
+// game pairs — the paper's Blue Gene mapping, including the agents-within-
+// SSet split when workers outnumber SSets. The trajectory is identical to
+// RunSequential with the same Config for every rank count.
+//
+// ranks must be at least 2; workers may not outnumber the games of one
+// generation, S×(S-1).
+func RunParallel(cfg Config, ranks int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks < 2 {
+		return nil, fmt.Errorf("sim: parallel engine needs >= 2 ranks (Nature + workers), got %d", ranks)
+	}
+	nWorkers := ranks - 1
+	totalGames := cfg.NumSSets * (cfg.NumSSets - 1)
+	if nWorkers > totalGames {
+		return nil, fmt.Errorf("sim: %d workers exceed %d games per generation", nWorkers, totalGames)
+	}
+
+	world := mpi.NewWorld(ranks)
+	var result *Result
+	start := time.Now()
+	err := world.Run(func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			res, err := natureRank(cfg, c)
+			if err != nil {
+				return err
+			}
+			result = res
+			return nil
+		}
+		return workerRank(cfg, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	result.Elapsed = time.Since(start)
+	result.Ranks = ranks
+	return result, nil
+}
+
+// natureRank is rank 0: the paper's Nature Agent. It keeps the global
+// strategy view, drives the evolutionary schedule, gathers selected
+// fitness values point-to-point, and broadcasts selections and updates.
+func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
+	master := rng.New(cfg.Seed)
+	pop := NewPopulation(cfg, master) // global strategy view (payoffs unused here)
+	nWorkers := c.Size() - 1
+	s := cfg.NumSSets
+	res := &Result{}
+	res.MeanFitness, _ = stats.NewSeries(cfg.SampleStride)
+	res.Cooperation, _ = stats.NewSeries(cfg.SampleStride)
+
+	// recvFitness reassembles SSet i's fitness from its row segments,
+	// folding payoffs in ascending column order so the floating-point sum
+	// matches the sequential engine bit for bit.
+	recvFitness := func(i int) (float64, error) {
+		total := 0.0
+		for _, seg := range rowSegments(s, nWorkers, i) {
+			msg, err := c.Recv(1+seg.worker, tagFitness)
+			if err != nil {
+				return 0, err
+			}
+			for _, v := range msg.Payload.([]float64) {
+				total += v
+			}
+		}
+		return total / float64(s-1), nil
+	}
+
+	for gen := cfg.StartGeneration; gen < cfg.StartGeneration+cfg.Generations; gen++ {
+		pop.clearDirty()
+		d := natureDecision(&cfg, master, gen)
+		ev := Events{
+			PCOccurred:       d.pc,
+			Teacher:          d.teacher,
+			Learner:          d.learner,
+			MutationOccurred: d.mutate,
+			Mutant:           d.mutant,
+		}
+
+		// Announce the PC selection to all ranks (collective network).
+		sel := selection{PC: d.pc, Teacher: d.teacher, Learner: d.learner}
+		if _, err := c.Bcast(0, sel); err != nil {
+			return nil, err
+		}
+
+		var u update
+		if d.pc {
+			res.Counters.PCEvents++
+			// The owners return the selected SSets' payoff segments
+			// point-to-point (torus network in the paper); teacher first,
+			// then learner, in segment order.
+			piT, err := recvFitness(d.teacher)
+			if err != nil {
+				return nil, err
+			}
+			piL, err := recvFitness(d.learner)
+			if err != nil {
+				return nil, err
+			}
+			if resolveAdoption(&cfg, master, gen, piT, piL) {
+				pop.Adopt(d.learner, d.teacher)
+				u.Adopted = true
+				u.Learner, u.Teacher = d.learner, d.teacher
+				ev.Adopted = true
+				res.Counters.Adoptions++
+			}
+		}
+		if d.mutate {
+			res.Counters.Mutations++
+			mut := mutantStrategy(&cfg, master, pop.Space(), gen)
+			pop.SetStrategy(d.mutant, mut)
+			u.Mutated = true
+			u.Mutant = d.mutant
+			u.MutantStrategy = mut
+		}
+		u.MeanFitnessWanted = gen%cfg.SampleStride == 0
+
+		// Broadcast the global strategy update (collective network).
+		if _, err := c.Bcast(0, u); err != nil {
+			return nil, err
+		}
+
+		if u.MeanFitnessWanted {
+			// Join the workers' payoff reduction; Nature contributes 0.
+			total, err := c.Reduce(0, 0, mpi.OpSum)
+			if err != nil {
+				return nil, err
+			}
+			res.MeanFitness.Observe(gen, total/float64(s*(s-1)))
+			res.Cooperation.Observe(gen, pop.MeanCooperationProb())
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.Generation(gen, pop, ev)
+		}
+	}
+
+	// Collect the final payoff blocks and compute all fitness values in
+	// the sequential engine's order.
+	flat := make([]float64, s*(s-1))
+	for w := 0; w < nWorkers; w++ {
+		msg, err := c.Recv(1+w, tagRows)
+		if err != nil {
+			return nil, err
+		}
+		lo, _ := blockRange(s*(s-1), nWorkers, w)
+		copy(flat[lo:], msg.Payload.([]float64))
+	}
+	res.FinalFitness = make([]float64, s)
+	for i := 0; i < s; i++ {
+		total := 0.0
+		for k := i * (s - 1); k < (i+1)*(s-1); k++ {
+			total += flat[k]
+		}
+		res.FinalFitness[i] = total / float64(s-1)
+	}
+	games, err := c.Reduce(0, 0, mpi.OpSum)
+	if err != nil {
+		return nil, err
+	}
+	res.Counters.GamesPlayed = uint64(games)
+	res.Final = pop.Snapshot()
+	return res, nil
+}
+
+// workerRank is ranks 1..P-1: it owns a contiguous block of game pairs,
+// keeps the same global strategy view as Nature, plays its matches locally,
+// and applies broadcast updates.
+func workerRank(cfg Config, c *mpi.Comm) error {
+	master := rng.New(cfg.Seed)
+	pop := NewPopulation(cfg, master) // same deterministic initialisation
+	nWorkers := c.Size() - 1
+	w := c.Rank() - 1
+	s := cfg.NumSSets
+	lo, hi := blockRange(s*(s-1), nWorkers, w)
+	var eng *game.SearchEngine
+	if cfg.UseSearchEngine {
+		eng = game.NewSearchEngine(pop.Space())
+	}
+	// payoffs[k-lo] is pair k's mean per-round payoff for its row SSet.
+	payoffs := make([]float64, hi-lo)
+	games := uint64(0)
+
+	// refresh replays the owned pairs whose participants changed.
+	refresh := func(gen int) {
+		for k := lo; k < hi; k++ {
+			i, j := pairToIJ(s, k)
+			if cfg.FullRecompute || pop.dirty[i] || pop.dirty[j] {
+				payoffs[k-lo] = playPair(&cfg, master, eng, gen, i, j, pop.strategies[i], pop.strategies[j])
+				games++
+			}
+		}
+	}
+	// segment extracts the owned, contiguous payoff slice of SSet i's row
+	// (nil when this worker owns none of it).
+	segment := func(i int) []float64 {
+		rowLo, rowHi := i*(s-1), (i+1)*(s-1)
+		segLo, segHi := max(lo, rowLo), min(hi, rowHi)
+		if segLo >= segHi {
+			return nil
+		}
+		out := make([]float64, segHi-segLo)
+		copy(out, payoffs[segLo-lo:segHi-lo])
+		return out
+	}
+
+	for gen := cfg.StartGeneration; gen < cfg.StartGeneration+cfg.Generations; gen++ {
+		// Game dynamics: replay this worker's pairs.
+		refresh(gen)
+		pop.clearDirty()
+
+		// Receive the PC selection.
+		selAny, err := c.Bcast(0, nil)
+		if err != nil {
+			return err
+		}
+		sel := selAny.(selection)
+		if sel.PC {
+			// Owners of the selected rows return their segments; teacher
+			// before learner so Nature's ordered receives match when one
+			// worker owns pieces of both.
+			if seg := segment(sel.Teacher); seg != nil {
+				if err := c.Send(0, tagFitness, seg); err != nil {
+					return err
+				}
+			}
+			if seg := segment(sel.Learner); seg != nil {
+				if err := c.Send(0, tagFitness, seg); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Apply the global strategy update.
+		uAny, err := c.Bcast(0, nil)
+		if err != nil {
+			return err
+		}
+		u := uAny.(update)
+		if u.Adopted {
+			pop.Adopt(u.Learner, u.Teacher)
+		}
+		if u.Mutated {
+			pop.SetStrategy(u.Mutant, u.MutantStrategy.Clone())
+		}
+		if u.MeanFitnessWanted {
+			partial := 0.0
+			for _, v := range payoffs {
+				partial += v
+			}
+			if _, err := c.Reduce(0, partial, mpi.OpSum); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Ship the final payoff block and the game counter to Nature.
+	final := make([]float64, len(payoffs))
+	copy(final, payoffs)
+	if err := c.Send(0, tagRows, final); err != nil {
+		return err
+	}
+	_, err := c.Reduce(0, float64(games), mpi.OpSum)
+	return err
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/game"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+)
+
+// Population is the global view of the strategy space the paper's Nature
+// Agent maintains: the strategy assigned to each SSet plus the pairwise
+// payoff table from which SSet fitness derives.
+type Population struct {
+	space      strategy.Space
+	strategies []strategy.Strategy
+	// payoff[i*S+j] is the mean per-round payoff SSet i's strategy earns
+	// against SSet j's strategy (i != j). The diagonal is unused.
+	payoff []float64
+	// dirty marks SSets whose strategy changed since their games were last
+	// replayed (incremental mode).
+	dirty []bool
+}
+
+// NewPopulation initialises a population of cfg.NumSSets strategies: deep
+// copies of cfg.InitialStrategies when resuming, otherwise random draws
+// from src (the paper's random initial assignment).
+func NewPopulation(cfg Config, src *rng.Source) *Population {
+	sp := strategy.NewSpace(cfg.Memory)
+	p := &Population{
+		space:      sp,
+		strategies: make([]strategy.Strategy, cfg.NumSSets),
+		payoff:     make([]float64, cfg.NumSSets*cfg.NumSSets),
+		dirty:      make([]bool, cfg.NumSSets),
+	}
+	for i := range p.strategies {
+		if cfg.InitialStrategies != nil {
+			p.strategies[i] = cfg.InitialStrategies[i].Clone()
+		} else {
+			p.strategies[i] = randomStrategy(cfg.Kind, sp, src.Derive(uint64(i), 0xA11)) // per-SSet stream
+		}
+		p.dirty[i] = true
+	}
+	return p
+}
+
+func randomStrategy(kind StrategyKind, sp strategy.Space, src *rng.Source) strategy.Strategy {
+	if kind == MixedStrategies {
+		return strategy.RandomMixed(sp, src)
+	}
+	return strategy.RandomPure(sp, src)
+}
+
+// Size returns the number of SSets.
+func (p *Population) Size() int { return len(p.strategies) }
+
+// Space returns the strategy space.
+func (p *Population) Space() strategy.Space { return p.space }
+
+// Strategy returns SSet i's current strategy. The caller must not mutate it.
+func (p *Population) Strategy(i int) strategy.Strategy { return p.strategies[i] }
+
+// SetStrategy assigns a strategy to SSet i and marks its games dirty.
+func (p *Population) SetStrategy(i int, s strategy.Strategy) {
+	p.strategies[i] = s
+	p.dirty[i] = true
+}
+
+// Adopt makes learner copy teacher's strategy (the PC learning step).
+func (p *Population) Adopt(learner, teacher int) {
+	p.strategies[learner] = p.strategies[teacher].Clone()
+	p.dirty[learner] = true
+}
+
+// Payoff returns the cached mean per-round payoff of i against j.
+func (p *Population) Payoff(i, j int) float64 { return p.payoff[i*len(p.strategies)+j] }
+
+func (p *Population) setPayoff(i, j int, v float64) { p.payoff[i*len(p.strategies)+j] = v }
+
+// Fitness returns SSet i's relative fitness: its mean per-round payoff
+// averaged over all opponents. This is the paper's relative_fitness with a
+// 1/((S-1)*rounds) normalisation so that the Fermi exponent works on
+// per-round payoff scale regardless of population size.
+func (p *Population) Fitness(i int) float64 {
+	s := len(p.strategies)
+	total := 0.0
+	for j := 0; j < s; j++ {
+		if j != i {
+			total += p.Payoff(i, j)
+		}
+	}
+	return total / float64(s-1)
+}
+
+// Fitnesses returns all SSet fitnesses.
+func (p *Population) Fitnesses() []float64 {
+	out := make([]float64, p.Size())
+	for i := range out {
+		out[i] = p.Fitness(i)
+	}
+	return out
+}
+
+// MeanFitness returns the population's mean relative fitness. Under the
+// standard payoff it ranges from 1 (all-defect) to 3 (full cooperation).
+func (p *Population) MeanFitness() float64 {
+	total := 0.0
+	for i := 0; i < p.Size(); i++ {
+		total += p.Fitness(i)
+	}
+	return total / float64(p.Size())
+}
+
+// Abundance returns the strategy-abundance tally of the current population.
+func (p *Population) Abundance() *stats.Abundance {
+	a := stats.NewAbundance()
+	for _, s := range p.strategies {
+		a.Add(s.Fingerprint())
+	}
+	return a
+}
+
+// FractionMatching returns the share of SSets whose strategy equals ref
+// (e.g. the WSLS fraction tracked in Fig. 2).
+func (p *Population) FractionMatching(ref strategy.Strategy) float64 {
+	n := 0
+	for _, s := range p.strategies {
+		if s.Equal(ref) {
+			n++
+		}
+	}
+	return float64(n) / float64(p.Size())
+}
+
+// FractionNear returns the share of SSets whose strategy rounds to the pure
+// strategy ref — the clustering view used for mixed-strategy populations,
+// where exact equality never occurs.
+func (p *Population) FractionNear(ref *strategy.Pure) float64 {
+	n := 0
+	for _, s := range p.strategies {
+		switch v := s.(type) {
+		case *strategy.Pure:
+			if v.Equal(ref) {
+				n++
+			}
+		case *strategy.Mixed:
+			if v.NearestPure().Equal(ref) {
+				n++
+			}
+		}
+	}
+	return float64(n) / float64(p.Size())
+}
+
+// MeanCooperationProb returns the average cooperation probability across
+// all SSets and states — a coarse population cooperativeness measure.
+func (p *Population) MeanCooperationProb() float64 {
+	total := 0.0
+	states := p.space.NumStates()
+	for _, s := range p.strategies {
+		for st := 0; st < states; st++ {
+			total += s.CooperateProb(uint32(st))
+		}
+	}
+	return total / float64(p.Size()*states)
+}
+
+// Snapshot returns deep copies of all strategies (for observers that retain
+// population state beyond the callback).
+func (p *Population) Snapshot() []strategy.Strategy {
+	out := make([]strategy.Strategy, len(p.strategies))
+	for i, s := range p.strategies {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Fermi evaluates Equation 1 of the paper: the probability that the learner
+// adopts the teacher's strategy given payoffs piT, piL and selection
+// intensity beta.
+func Fermi(beta, piT, piL float64) float64 {
+	return 1.0 / (1.0 + math.Exp(-beta*(piT-piL)))
+}
+
+// playPair runs the (i, j) match and returns SSet i's mean per-round payoff
+// against j. Randomness derives from (seed, gen, i, j) so both engines — and
+// any rank layout — replay identical games. In exact mode the sampled match
+// is replaced by the infinite-game Markov payoff, which needs no randomness
+// at all.
+func playPair(cfg *Config, master *rng.Source, eng *game.SearchEngine, gen, i, j int, si, sj strategy.Strategy) float64 {
+	if cfg.ExactPayoffs {
+		pi0, _, err := analysis.MarkovPayoffN(cfg.Rules.Payoff, si, sj, cfg.Rules.ErrorRate)
+		if err != nil {
+			// Spaces are validated at population construction; any failure
+			// here is a programming error.
+			panic(fmt.Sprintf("sim: exact payoff: %v", err))
+		}
+		return pi0
+	}
+	src := master.Derive(0x6A3E, uint64(gen), uint64(i), uint64(j))
+	var res game.Result
+	if eng != nil {
+		res = eng.Play(cfg.Rules, si, sj, src)
+	} else {
+		res = game.Play(cfg.Rules, si, sj, src)
+	}
+	return res.Mean0()
+}
+
+// refreshPayoffs brings the payoff table up to date for generation gen over
+// the SSet range [lo, hi) (the rows this caller owns). In full-recompute
+// mode every owned row is replayed; in incremental mode only games
+// involving a dirty SSet are. Column entries i<j and j<i are separate games,
+// exactly as in the paper where each SSet's own agents model all its
+// matches. Returns the number of games played.
+func refreshPayoffs(cfg *Config, pop *Population, master *rng.Source, eng *game.SearchEngine, gen, lo, hi int) uint64 {
+	games := uint64(0)
+	s := pop.Size()
+	for i := lo; i < hi; i++ {
+		replayAll := cfg.FullRecompute || pop.dirty[i]
+		for j := 0; j < s; j++ {
+			if j == i {
+				continue
+			}
+			if replayAll || pop.dirty[j] {
+				pop.setPayoff(i, j, playPair(cfg, master, eng, gen, i, j, pop.strategies[i], pop.strategies[j]))
+				games++
+			}
+		}
+	}
+	return games
+}
+
+// clearDirty resets the dirty marks after all owners refreshed their rows.
+func (p *Population) clearDirty() {
+	for i := range p.dirty {
+		p.dirty[i] = false
+	}
+}

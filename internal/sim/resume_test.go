@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+// Resume semantics: a run of G generations must equal a run of the first
+// half followed by a run of the second half seeded with the first half's
+// final strategies and StartGeneration at the cut. Exact for pure
+// strategies without execution errors, whose match outcomes are
+// deterministic.
+
+func TestResumeEquivalencePureStrategies(t *testing.T) {
+	cfg := testConfig(1, 10, 100)
+	cfg.Seed = 77
+
+	full, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := cfg
+	first.Generations = 60
+	half, err := RunSequential(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := cfg
+	second.Generations = 40
+	second.StartGeneration = 60
+	second.InitialStrategies = half.Final
+	resumed, err := RunSequential(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range full.Final {
+		if !full.Final[i].Equal(resumed.Final[i]) {
+			t.Fatalf("final strategy %d differs after resume", i)
+		}
+	}
+	// Event counters across the halves must sum to the full run's.
+	if half.Counters.PCEvents+resumed.Counters.PCEvents != full.Counters.PCEvents {
+		t.Fatalf("PC events %d+%d != %d", half.Counters.PCEvents, resumed.Counters.PCEvents, full.Counters.PCEvents)
+	}
+	if half.Counters.Mutations+resumed.Counters.Mutations != full.Counters.Mutations {
+		t.Fatal("mutation counts do not sum")
+	}
+	if half.Counters.Adoptions+resumed.Counters.Adoptions != full.Counters.Adoptions {
+		t.Fatal("adoption counts do not sum")
+	}
+}
+
+func TestResumeEquivalenceParallel(t *testing.T) {
+	cfg := testConfig(2, 8, 50)
+	cfg.Seed = 78
+
+	full, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cfg
+	first.Generations = 25
+	half, err := RunParallel(first, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := cfg
+	second.Generations = 25
+	second.StartGeneration = 25
+	second.InitialStrategies = half.Final
+	resumed, err := RunParallel(second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Final {
+		if !full.Final[i].Equal(resumed.Final[i]) {
+			t.Fatalf("final strategy %d differs after parallel resume", i)
+		}
+	}
+	for i := range full.FinalFitness {
+		if full.FinalFitness[i] != resumed.FinalFitness[i] {
+			t.Fatalf("final fitness %d differs after parallel resume", i)
+		}
+	}
+}
+
+func TestInitialStrategiesNotAliased(t *testing.T) {
+	cfg := testConfig(1, 4, 5)
+	sp := strategy.NewSpace(1)
+	seeds := []strategy.Strategy{
+		strategy.AllC(sp), strategy.AllD(sp), strategy.TFT(sp), strategy.WSLS(sp),
+	}
+	cfg.InitialStrategies = seeds
+	cfg.Mu = 1.0 // force churn
+	if _, err := RunSequential(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The caller's seed strategies must be untouched.
+	if !seeds[0].Equal(strategy.AllC(sp)) || !seeds[3].Equal(strategy.WSLS(sp)) {
+		t.Fatal("run mutated the caller's initial strategies")
+	}
+}
+
+func TestInitialStrategiesSeedPopulation(t *testing.T) {
+	cfg := testConfig(1, 3, 0)
+	sp := strategy.NewSpace(1)
+	cfg.InitialStrategies = []strategy.Strategy{
+		strategy.AllC(sp), strategy.WSLS(sp), strategy.AllD(sp),
+	}
+	res, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Final[0].Equal(strategy.AllC(sp)) ||
+		!res.Final[1].Equal(strategy.WSLS(sp)) ||
+		!res.Final[2].Equal(strategy.AllD(sp)) {
+		t.Fatal("initial strategies not used")
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	cfg := testConfig(1, 4, 5)
+	cfg.StartGeneration = -1
+	if _, err := RunSequential(cfg); err == nil {
+		t.Fatal("negative start generation accepted")
+	}
+	cfg = testConfig(1, 4, 5)
+	cfg.InitialStrategies = []strategy.Strategy{strategy.AllC(strategy.NewSpace(1))}
+	if _, err := RunSequential(cfg); err == nil {
+		t.Fatal("wrong-length initial strategies accepted")
+	}
+	cfg = testConfig(1, 2, 5)
+	cfg.InitialStrategies = []strategy.Strategy{
+		strategy.AllC(strategy.NewSpace(2)), strategy.AllD(strategy.NewSpace(2)),
+	}
+	if _, err := RunSequential(cfg); err == nil {
+		t.Fatal("wrong-space initial strategies accepted")
+	}
+	cfg = testConfig(1, 2, 5)
+	cfg.InitialStrategies = []strategy.Strategy{nil, strategy.AllD(strategy.NewSpace(1))}
+	if _, err := RunSequential(cfg); err == nil {
+		t.Fatal("nil initial strategy accepted")
+	}
+}
+
+func TestStartGenerationShiftsSchedule(t *testing.T) {
+	// The same window of absolute generations must produce the same events
+	// regardless of whether earlier generations were actually run, because
+	// the Nature schedule is keyed by absolute generation.
+	cfg := testConfig(1, 6, 30)
+	cfg.Seed = 79
+	cfg.StartGeneration = 100
+	a, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters {
+		t.Fatal("shifted schedule not deterministic")
+	}
+	// And it must differ from the unshifted schedule (different gens).
+	cfg.StartGeneration = 0
+	c, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters == c.Counters {
+		// Could coincide by chance; also compare strategies.
+		same := true
+		for i := range a.Final {
+			if !a.Final[i].Equal(c.Final[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("start generation had no effect on the schedule")
+		}
+	}
+}

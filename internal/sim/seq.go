@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// RunSequential executes the full simulation on one thread. It is the
+// reference implementation: RunParallel must reproduce its trajectory
+// exactly for any rank count.
+func RunSequential(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	master := rng.New(cfg.Seed)
+	pop := NewPopulation(cfg, master)
+	var eng *game.SearchEngine
+	if cfg.UseSearchEngine {
+		eng = game.NewSearchEngine(pop.Space())
+	}
+	res := &Result{Ranks: 1}
+	res.MeanFitness, _ = stats.NewSeries(cfg.SampleStride)
+	res.Cooperation, _ = stats.NewSeries(cfg.SampleStride)
+
+	for gen := cfg.StartGeneration; gen < cfg.StartGeneration+cfg.Generations; gen++ {
+		// Game dynamics: bring every SSet's payoff row up to date.
+		res.Counters.GamesPlayed += refreshPayoffs(&cfg, pop, master, eng, gen, 0, pop.Size())
+		pop.clearDirty()
+
+		// Population dynamics: the Nature Agent's step.
+		ev := natureStep(&cfg, pop, master, gen, &res.Counters)
+
+		res.MeanFitness.Observe(gen, pop.MeanFitness())
+		res.Cooperation.Observe(gen, pop.MeanCooperationProb())
+		if cfg.Observer != nil {
+			cfg.Observer.Generation(gen, pop, ev)
+		}
+	}
+
+	res.Final = pop.Snapshot()
+	res.FinalFitness = pop.Fitnesses()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// natureStep performs one generation of population dynamics on a population
+// with up-to-date payoffs: the PC learning event and the mutation event,
+// per the paper's Nature Agent pseudo-code. Used verbatim by the sequential
+// engine and by rank 0 of the parallel engine (operating on its global
+// view), which is what keeps the two trajectories identical.
+func natureStep(cfg *Config, pop *Population, master *rng.Source, gen int, ctr *Counters) Events {
+	d := natureDecision(cfg, master, gen)
+	ev := Events{
+		PCOccurred:       d.pc,
+		Teacher:          d.teacher,
+		Learner:          d.learner,
+		MutationOccurred: d.mutate,
+		Mutant:           d.mutant,
+	}
+	if d.pc {
+		ctr.PCEvents++
+		piT := pop.Fitness(d.teacher)
+		piL := pop.Fitness(d.learner)
+		if resolveAdoption(cfg, master, gen, piT, piL) {
+			pop.Adopt(d.learner, d.teacher)
+			ev.Adopted = true
+			ctr.Adoptions++
+		}
+	}
+	if d.mutate {
+		ctr.Mutations++
+		pop.SetStrategy(d.mutant, mutantStrategy(cfg, master, pop.Space(), gen))
+	}
+	return ev
+}

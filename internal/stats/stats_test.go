@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if w.Mean() != 5 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Fatal("single sample stats wrong")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(seed uint64, split uint8) bool {
+		src := rng.New(seed)
+		n := 50 + int(split%50)
+		k := int(split) % n
+		var all, a, b Welford
+		for i := 0; i < n; i++ {
+			x := src.Normal()*3 + 1
+			all.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var a, b Welford
+	a.Merge(b)
+	if a.N() != 0 {
+		t.Fatal("merging empties changed N")
+	}
+	b.Add(5)
+	a.Merge(b)
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatal("merge into empty failed")
+	}
+	var c Welford
+	a.Merge(c)
+	if a.N() != 1 {
+		t.Fatal("merge of empty changed N")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts() {
+		if c != 1 {
+			t.Fatalf("bin %d count %d", i, c)
+		}
+	}
+	if h.Total() != 10 {
+		t.Fatalf("total %d", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	h.Add(-100)
+	h.Add(100)
+	h.Add(1.0) // exactly hi clamps into last bin
+	if h.Counts()[0] != 1 || h.Counts()[3] != 2 {
+		t.Fatalf("clamping wrong: %v", h.Counts())
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, _ := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	med := h.Quantile(0.5)
+	if math.Abs(med-50) > 1.5 {
+		t.Fatalf("median = %v", med)
+	}
+	if !math.IsNaN(NewEmptyHist(t).Quantile(0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+}
+
+func NewEmptyHist(t *testing.T) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestSeriesStride(t *testing.T) {
+	s, err := NewSeries(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 100; g++ {
+		s.Observe(g, float64(g))
+	}
+	if s.Len() != 10 {
+		t.Fatalf("kept %d samples", s.Len())
+	}
+	g, v := s.At(3)
+	if g != 30 || v != 30 {
+		t.Fatalf("At(3) = %d,%v", g, v)
+	}
+	lg, lv, ok := s.Last()
+	if !ok || lg != 90 || lv != 90 {
+		t.Fatalf("Last = %d,%v,%v", lg, lv, ok)
+	}
+	if len(s.Values()) != 10 {
+		t.Fatal("Values length mismatch")
+	}
+}
+
+func TestSeriesValidationAndEmpty(t *testing.T) {
+	if _, err := NewSeries(0); err == nil {
+		t.Fatal("stride 0 accepted")
+	}
+	s, _ := NewSeries(1)
+	if _, _, ok := s.Last(); ok {
+		t.Fatal("empty Last ok")
+	}
+}
+
+func TestAbundance(t *testing.T) {
+	a := NewAbundance()
+	for i := 0; i < 85; i++ {
+		a.Add(111)
+	}
+	for i := 0; i < 10; i++ {
+		a.Add(222)
+	}
+	for i := 0; i < 5; i++ {
+		a.Add(333)
+	}
+	if a.Total() != 100 || a.Distinct() != 3 {
+		t.Fatalf("total %d distinct %d", a.Total(), a.Distinct())
+	}
+	if a.Fraction(111) != 0.85 {
+		t.Fatalf("fraction = %v", a.Fraction(111))
+	}
+	if a.Fraction(999) != 0 {
+		t.Fatal("absent fingerprint nonzero")
+	}
+	top := a.Top(2)
+	if len(top) != 2 || top[0].Fingerprint != 111 || top[1].Fingerprint != 222 {
+		t.Fatalf("Top = %+v", top)
+	}
+	if top[0].Fraction != 0.85 {
+		t.Fatalf("top fraction = %v", top[0].Fraction)
+	}
+}
+
+func TestAbundanceTopDeterministicTies(t *testing.T) {
+	a := NewAbundance()
+	a.Add(5)
+	a.Add(3)
+	a.Add(9)
+	top := a.Top(3)
+	if top[0].Fingerprint != 3 || top[1].Fingerprint != 5 || top[2].Fingerprint != 9 {
+		t.Fatalf("tie order not by fingerprint: %+v", top)
+	}
+}
+
+func TestAbundanceEntropy(t *testing.T) {
+	a := NewAbundance()
+	if a.Entropy() != 0 {
+		t.Fatal("empty entropy nonzero")
+	}
+	a.Add(1)
+	a.Add(2)
+	if math.Abs(a.Entropy()-1) > 1e-12 {
+		t.Fatalf("two-way entropy = %v, want 1 bit", a.Entropy())
+	}
+	b := NewAbundance()
+	for i := 0; i < 50; i++ {
+		b.Add(7)
+	}
+	if b.Entropy() != 0 {
+		t.Fatalf("fixated entropy = %v", b.Entropy())
+	}
+}
+
+func TestAbundanceFractionEmpty(t *testing.T) {
+	if NewAbundance().Fraction(1) != 0 {
+		t.Fatal("empty fraction nonzero")
+	}
+}

@@ -1,0 +1,126 @@
+package strategy
+
+import "fmt"
+
+// This file constructs the named strategies discussed in the paper
+// (§I, §III-B, §III-E): Always-Cooperate, Always-Defect, Tit-For-Tat,
+// Generous Tit-For-Tat, Win-Stay Lose-Shift, Grim trigger, and
+// Tit-For-Two-Tats, each generalised to any memory depth n by conditioning
+// only on the rounds the rule actually needs.
+//
+// State layout reminder: the most recent round occupies the two low bits,
+// (myMove<<1 | oppMove).
+
+func oppLast(state uint32) Move { return Move(state & 1) }
+func myLast(state uint32) Move  { return Move((state >> 1) & 1) }
+
+// AllC returns the unconditional cooperator.
+func AllC(sp Space) *Pure { return NewPure(sp) }
+
+// AllD returns the unconditional defector.
+func AllD(sp Space) *Pure {
+	p := NewPure(sp)
+	p.bits.SetAll()
+	return p
+}
+
+// TFT returns Tit-For-Tat: copy the opponent's previous move. With the
+// all-cooperate initial view it opens with C, as in the paper.
+func TFT(sp Space) *Pure {
+	p := NewPure(sp)
+	for s := uint32(0); s < uint32(sp.NumStates()); s++ {
+		p.SetMove(s, oppLast(s))
+	}
+	return p
+}
+
+// WSLS returns Win-Stay Lose-Shift (Pavlov): repeat your move after R or T
+// (a "win"), switch after S or P. Equivalently the next move is
+// myLast XOR oppLast. At memory one in the paper's Gray-order row labels
+// this is the [0101] strategy of Fig. 2; in our binary order it is 0110.
+func WSLS(sp Space) *Pure {
+	p := NewPure(sp)
+	for s := uint32(0); s < uint32(sp.NumStates()); s++ {
+		p.SetMove(s, myLast(s)^oppLast(s))
+	}
+	return p
+}
+
+// Grim returns the grim trigger: cooperate only while the remembered window
+// is spotless; one defection by either side (the strategy's own defection
+// keeps the trigger latched within the finite window) means defect.
+func Grim(sp Space) *Pure {
+	p := NewPure(sp)
+	for s := uint32(1); s < uint32(sp.NumStates()); s++ {
+		p.SetMove(s, Defect)
+	}
+	return p
+}
+
+// TF2T returns Tit-For-Two-Tats: defect only after the opponent defected in
+// each of the last two rounds. It panics for memory one, which cannot see
+// two rounds back.
+func TF2T(sp Space) *Pure {
+	if sp.Memory() < 2 {
+		panic("strategy: TF2T needs memory >= 2")
+	}
+	p := NewPure(sp)
+	for s := uint32(0); s < uint32(sp.NumStates()); s++ {
+		oppPrev := Move((s >> 2) & 1) // opponent's move two rounds ago
+		if oppLast(s) == Defect && oppPrev == Defect {
+			p.SetMove(s, Defect)
+		}
+	}
+	return p
+}
+
+// GTFT returns Generous Tit-For-Tat as a mixed strategy: always cooperate
+// after the opponent's C; after a D, forgive (cooperate) with probability g.
+// Nowak & Sigmund's canonical generosity for the standard payoffs is g=1/3.
+func GTFT(sp Space, g float64) *Mixed {
+	m := NewMixed(sp)
+	for s := uint32(0); s < uint32(sp.NumStates()); s++ {
+		if oppLast(s) == Cooperate {
+			m.SetProb(s, 1)
+		} else {
+			m.SetProb(s, clamp01(g))
+		}
+	}
+	return m
+}
+
+// RandomMix returns the uniformly random mixed strategy (cooperate with
+// probability 1/2 in every state).
+func RandomMix(sp Space) *Mixed { return NewMixed(sp) }
+
+// Named builds a classic strategy by name in the given space. Recognised
+// names (case-sensitive): ALLC, ALLD, TFT, WSLS, GRIM, TF2T, GTFT, RANDOM.
+func Named(name string, sp Space) (Strategy, error) {
+	switch name {
+	case "ALLC":
+		return AllC(sp), nil
+	case "ALLD":
+		return AllD(sp), nil
+	case "TFT":
+		return TFT(sp), nil
+	case "WSLS":
+		return WSLS(sp), nil
+	case "GRIM":
+		return Grim(sp), nil
+	case "TF2T":
+		if sp.Memory() < 2 {
+			return nil, fmt.Errorf("strategy: TF2T needs memory >= 2, have %d", sp.Memory())
+		}
+		return TF2T(sp), nil
+	case "GTFT":
+		return GTFT(sp, 1.0/3.0), nil
+	case "RANDOM":
+		return RandomMix(sp), nil
+	}
+	return nil, fmt.Errorf("strategy: unknown name %q", name)
+}
+
+// ClassicNames lists the names accepted by Named, in a stable order.
+func ClassicNames() []string {
+	return []string{"ALLC", "ALLD", "TFT", "WSLS", "GRIM", "TF2T", "GTFT", "RANDOM"}
+}

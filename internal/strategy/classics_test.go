@@ -1,0 +1,196 @@
+package strategy
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAllCAllD(t *testing.T) {
+	for n := 1; n <= MaxMemory; n++ {
+		sp := NewSpace(n)
+		c, d := AllC(sp), AllD(sp)
+		if c.Bits().Count() != 0 {
+			t.Fatalf("memory %d: ALLC defects somewhere", n)
+		}
+		if d.Bits().Count() != sp.NumStates() {
+			t.Fatalf("memory %d: ALLD cooperates somewhere", n)
+		}
+	}
+}
+
+func TestTFTMemoryOne(t *testing.T) {
+	p := TFT(NewSpace(1))
+	// States: CC=0 -> C, CD=1 -> D, DC=2 -> C, DD=3 -> D.
+	if got, want := p.String(), "0101"; got != want {
+		t.Fatalf("TFT = %q, want %q", got, want)
+	}
+}
+
+func TestTFTHigherMemoryIgnoresOlderRounds(t *testing.T) {
+	sp := NewSpace(3)
+	p := TFT(sp)
+	for s := uint32(0); s < uint32(sp.NumStates()); s++ {
+		want := Move(s & 1)
+		if p.MoveAt(s) != want {
+			t.Fatalf("TFT state %d: move %v, want %v", s, p.MoveAt(s), want)
+		}
+	}
+}
+
+func TestWSLSMemoryOne(t *testing.T) {
+	p := WSLS(NewSpace(1))
+	// Binary order CC,CD,DC,DD: stay C, shift to D, stay D, shift to C.
+	if got, want := p.String(), "0110"; got != want {
+		t.Fatalf("WSLS = %q, want %q", got, want)
+	}
+	// Table V of the paper lists states in order 00,01,11,10 with strategy
+	// column 0,1,0,1 — verify our encoding matches under that reordering.
+	paperOrder := []uint32{0, 1, 3, 2}
+	paperMoves := []Move{Cooperate, Defect, Cooperate, Defect}
+	for i, s := range paperOrder {
+		if p.MoveAt(s) != paperMoves[i] {
+			t.Fatalf("paper row %d (state %d): move %v, want %v", i, s, p.MoveAt(s), paperMoves[i])
+		}
+	}
+}
+
+func TestWSLSSelfPlayRecoversFromError(t *testing.T) {
+	// The defining WSLS property (paper §III-E): after a single erroneous
+	// defection, two WSLS players return to mutual cooperation.
+	sp := NewSpace(1)
+	p := WSLS(sp)
+	sA := sp.NextState(sp.InitialState(), Defect, Cooperate) // A mis-played D
+	sB := sp.Opposing(sA)
+	// Next round: both shift/stay per WSLS.
+	a, b := p.MoveAt(sA), p.MoveAt(sB)
+	if a != Defect || b != Defect {
+		t.Fatalf("round after error: %v,%v; WSLS should give D,D", a, b)
+	}
+	sA = sp.NextState(sA, a, b)
+	sB = sp.NextState(sB, b, a)
+	a, b = p.MoveAt(sA), p.MoveAt(sB)
+	if a != Cooperate || b != Cooperate {
+		t.Fatalf("two rounds after error: %v,%v; WSLS should restore C,C", a, b)
+	}
+}
+
+func TestTFTSelfPlayLockedByError(t *testing.T) {
+	// Contrast (paper §III-E): one error locks TFT pairs into alternation,
+	// never returning to mutual cooperation.
+	sp := NewSpace(1)
+	p := TFT(sp)
+	sA := sp.NextState(sp.InitialState(), Defect, Cooperate)
+	sB := sp.Opposing(sA)
+	mutualC := 0
+	for r := 0; r < 50; r++ {
+		a, b := p.MoveAt(sA), p.MoveAt(sB)
+		if a == Cooperate && b == Cooperate {
+			mutualC++
+		}
+		sA = sp.NextState(sA, a, b)
+		sB = sp.NextState(sB, b, a)
+	}
+	if mutualC != 0 {
+		t.Fatalf("TFT pair recovered to mutual cooperation %d times after error", mutualC)
+	}
+}
+
+func TestGrim(t *testing.T) {
+	sp := NewSpace(2)
+	g := Grim(sp)
+	if g.MoveAt(0) != Cooperate {
+		t.Fatal("Grim defects on spotless history")
+	}
+	for s := uint32(1); s < uint32(sp.NumStates()); s++ {
+		if g.MoveAt(s) != Defect {
+			t.Fatalf("Grim cooperates in tainted state %d", s)
+		}
+	}
+}
+
+func TestTF2T(t *testing.T) {
+	sp := NewSpace(2)
+	p := TF2T(sp)
+	// Opp defected only last round -> still cooperate.
+	s := sp.NextState(sp.InitialState(), Cooperate, Defect)
+	if p.MoveAt(s) != Cooperate {
+		t.Fatal("TF2T defected after a single defection")
+	}
+	// Opp defected twice -> defect.
+	s = sp.NextState(s, Cooperate, Defect)
+	if p.MoveAt(s) != Defect {
+		t.Fatal("TF2T did not defect after two defections")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TF2T memory-1 did not panic")
+		}
+	}()
+	TF2T(NewSpace(1))
+}
+
+func TestGTFT(t *testing.T) {
+	sp := NewSpace(1)
+	g := GTFT(sp, 1.0/3.0)
+	if g.CooperateProb(0) != 1 || g.CooperateProb(2) != 1 {
+		t.Fatal("GTFT does not always cooperate after opponent C")
+	}
+	for _, s := range []uint32{1, 3} {
+		if p := g.CooperateProb(s); p < 0.33 || p > 0.34 {
+			t.Fatalf("GTFT generosity = %v, want 1/3", p)
+		}
+	}
+}
+
+func TestNamed(t *testing.T) {
+	sp := NewSpace(2)
+	for _, name := range ClassicNames() {
+		s, err := Named(name, sp)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if s.Space() != sp {
+			t.Fatalf("Named(%q) wrong space", name)
+		}
+	}
+	if _, err := Named("BOGUS", sp); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := Named("TF2T", NewSpace(1)); err == nil {
+		t.Fatal("TF2T at memory one accepted")
+	}
+}
+
+func TestClassicsDistinct(t *testing.T) {
+	sp := NewSpace(2)
+	pures := []*Pure{AllC(sp), AllD(sp), TFT(sp), WSLS(sp), Grim(sp), TF2T(sp)}
+	names := []string{"ALLC", "ALLD", "TFT", "WSLS", "GRIM", "TF2T"}
+	for i := range pures {
+		for j := i + 1; j < len(pures); j++ {
+			if pures[i].Equal(pures[j]) {
+				t.Errorf("%s == %s at memory 2", names[i], names[j])
+			}
+		}
+	}
+}
+
+func TestClassicsOpenWithCooperationExceptAllD(t *testing.T) {
+	src := rng.New(1)
+	for n := 1; n <= 3; n++ {
+		sp := NewSpace(n)
+		for _, name := range []string{"ALLC", "TFT", "WSLS", "GRIM", "GTFT"} {
+			s, err := Named(name, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Move(sp.InitialState(), src) != Cooperate {
+				t.Errorf("memory %d: %s opens with D", n, name)
+			}
+		}
+		d, _ := Named("ALLD", sp)
+		if d.Move(sp.InitialState(), src) != Defect {
+			t.Errorf("memory %d: ALLD opens with C", n)
+		}
+	}
+}

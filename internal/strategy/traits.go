@@ -1,0 +1,160 @@
+package strategy
+
+// Axelrod's tournament analysis characterised successful strategies by
+// behavioural traits — niceness, retaliation, forgiveness. This file
+// computes those traits for arbitrary memory-n pure strategies by direct
+// inspection of the response table and by probing play sequences, giving
+// the framework's users the vocabulary the literature (and the paper's
+// introduction) uses to discuss evolved strategies.
+
+// Traits summarises a pure strategy's behavioural character.
+type Traits struct {
+	// Nice reports that the strategy never defects first: it cooperates in
+	// every state whose remembered window contains no opponent defection.
+	Nice bool
+	// Retaliatory reports that the strategy answers a lone opponent
+	// defection (after a clean history) with an immediate defection.
+	Retaliatory bool
+	// Forgiving reports that, after a single opponent defection followed
+	// by contrition (the opponent cooperating ever after), the strategy
+	// returns to cooperation within ForgivenessRounds.
+	Forgiving bool
+	// ForgivenessRounds is the number of rounds after a lone defection
+	// until the strategy cooperates again given a contrite opponent
+	// (0 = immediate, -1 = never within the probe horizon).
+	ForgivenessRounds int
+	// FirstMove is the opening move from the all-cooperate initial view.
+	FirstMove Move
+	// DefectionRate is the fraction of states answered with defection.
+	DefectionRate float64
+}
+
+// forgiveProbeHorizon bounds the contrition probe; a strategy that has not
+// re-cooperated after this many rounds against a contrite opponent is
+// unforgiving (memory-n strategies have at most 4^n reachable states, so
+// 4^n rounds suffice to detect a defection lock-in cycle).
+func forgiveProbeHorizon(sp Space) int { return sp.NumStates() + 2*sp.Memory() + 2 }
+
+// AnalyzeTraits computes the behavioural traits of a pure strategy.
+func AnalyzeTraits(p *Pure) Traits {
+	sp := p.Space()
+	t := Traits{
+		FirstMove:     p.MoveAt(sp.InitialState()),
+		DefectionRate: float64(p.Bits().Count()) / float64(sp.NumStates()),
+	}
+	t.Nice = isNice(p)
+	t.Retaliatory = isRetaliatory(p)
+	t.ForgivenessRounds = forgivenessRounds(p)
+	t.Forgiving = t.ForgivenessRounds >= 0
+	return t
+}
+
+// isNice checks cooperation in every state whose opponent-move bits are all
+// C (the opponent has not defected within the remembered window) AND whose
+// own-move bits are all C (the strategy itself has been cooperating — a
+// state with own defections after a clean opponent history is unreachable
+// for a strategy that satisfies the condition, so restricting to clean own
+// history makes the trait well-defined per Axelrod: never the first to
+// defect).
+func isNice(p *Pure) bool {
+	sp := p.Space()
+	// The only state with both clean opponent and clean own history is the
+	// all-cooperate state 0 — plus, transitively, every state reachable
+	// from it while the opponent keeps cooperating. Walk that closure.
+	visited := map[uint32]bool{}
+	stack := []uint32{sp.InitialState()}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		my := p.MoveAt(s)
+		if my == Defect {
+			return false
+		}
+		stack = append(stack, sp.NextState(s, my, Cooperate))
+	}
+	return true
+}
+
+// isRetaliatory plays a clean history, injects one opponent defection, and
+// checks the strategy's immediate response.
+func isRetaliatory(p *Pure) bool {
+	sp := p.Space()
+	s := settleCleanHistory(p)
+	my := p.MoveAt(s)
+	s = sp.NextState(s, my, Defect) // the opponent's lone defection
+	return p.MoveAt(s) == Defect
+}
+
+// forgivenessRounds plays a clean history, injects one opponent defection,
+// then has the opponent cooperate forever; it returns how many rounds pass
+// before the strategy cooperates again, or -1 if it never does within the
+// probe horizon.
+func forgivenessRounds(p *Pure) int {
+	sp := p.Space()
+	s := settleCleanHistory(p)
+	my := p.MoveAt(s)
+	s = sp.NextState(s, my, Defect)
+	for round := 0; round < forgiveProbeHorizon(sp); round++ {
+		my = p.MoveAt(s)
+		if my == Cooperate {
+			return round
+		}
+		s = sp.NextState(s, my, Cooperate)
+	}
+	return -1
+}
+
+// settleCleanHistory advances play against an always-cooperating opponent
+// until the state stops changing or a cycle forms, returning the settled
+// state — the natural "history before the incident" for trait probes.
+func settleCleanHistory(p *Pure) uint32 {
+	sp := p.Space()
+	s := sp.InitialState()
+	seen := map[uint32]bool{}
+	for !seen[s] {
+		seen[s] = true
+		s = sp.NextState(s, p.MoveAt(s), Cooperate)
+	}
+	return s
+}
+
+// TraitName returns a compact human label, e.g. "nice retaliatory
+// forgiving(1)" for TFT.
+func (t Traits) String() string {
+	out := ""
+	if t.Nice {
+		out += "nice"
+	} else {
+		out += "not-nice"
+	}
+	if t.Retaliatory {
+		out += " retaliatory"
+	}
+	if t.Forgiving {
+		out += " forgiving"
+		if t.ForgivenessRounds > 0 {
+			out += "(" + itoa(t.ForgivenessRounds) + ")"
+		}
+	} else {
+		out += " unforgiving"
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

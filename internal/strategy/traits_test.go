@@ -1,0 +1,132 @@
+package strategy
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTraitsOfClassicsMemoryOne(t *testing.T) {
+	sp := NewSpace(1)
+	cases := []struct {
+		name        string
+		p           *Pure
+		nice        bool
+		retaliatory bool
+		forgiveIn   int // -1 = never
+	}{
+		{"ALLC", AllC(sp), true, false, 0},
+		{"ALLD", AllD(sp), false, true, -1},
+		{"TFT", TFT(sp), true, true, 1},
+		// WSLS is unforgiving by this probe — and that is the famous
+		// property: against an opponent that keeps cooperating after the
+		// incident, WSLS stays in the winning (T) state and exploits it
+		// forever. Its cooperation recovery happens in self-play, where
+		// the partner also shifts (see game tests).
+		{"WSLS", WSLS(sp), true, true, -1},
+		{"GRIM", Grim(sp), true, true, -1},
+	}
+	for _, c := range cases {
+		tr := AnalyzeTraits(c.p)
+		if tr.Nice != c.nice {
+			t.Errorf("%s: nice = %v, want %v", c.name, tr.Nice, c.nice)
+		}
+		if tr.Retaliatory != c.retaliatory {
+			t.Errorf("%s: retaliatory = %v, want %v", c.name, tr.Retaliatory, c.retaliatory)
+		}
+		if tr.ForgivenessRounds != c.forgiveIn {
+			t.Errorf("%s: forgiveness = %d, want %d", c.name, tr.ForgivenessRounds, c.forgiveIn)
+		}
+		if tr.Forgiving != (c.forgiveIn >= 0) {
+			t.Errorf("%s: forgiving flag inconsistent", c.name)
+		}
+	}
+}
+
+func TestTraitsFirstMoveAndDefectionRate(t *testing.T) {
+	sp := NewSpace(1)
+	tr := AnalyzeTraits(AllD(sp))
+	if tr.FirstMove != Defect || tr.DefectionRate != 1 {
+		t.Fatalf("ALLD traits: %+v", tr)
+	}
+	tr = AnalyzeTraits(TFT(sp))
+	if tr.FirstMove != Cooperate || tr.DefectionRate != 0.5 {
+		t.Fatalf("TFT traits: %+v", tr)
+	}
+}
+
+func TestTraitsTF2TForgivesOneDefection(t *testing.T) {
+	sp := NewSpace(2)
+	tr := AnalyzeTraits(TF2T(sp))
+	if !tr.Nice {
+		t.Error("TF2T should be nice")
+	}
+	if tr.Retaliatory {
+		t.Error("TF2T does not retaliate against a lone defection")
+	}
+	if tr.ForgivenessRounds != 0 {
+		t.Errorf("TF2T forgives immediately, got %d", tr.ForgivenessRounds)
+	}
+}
+
+func TestTraitsHigherMemoryClassics(t *testing.T) {
+	for _, mem := range []int{2, 3, 6} {
+		sp := NewSpace(mem)
+		if tr := AnalyzeTraits(TFT(sp)); !tr.Nice || !tr.Retaliatory || tr.ForgivenessRounds != 1 {
+			t.Errorf("memory %d TFT traits: %+v", mem, tr)
+		}
+		if tr := AnalyzeTraits(Grim(sp)); !tr.Nice || !tr.Retaliatory || tr.Forgiving {
+			t.Errorf("memory %d GRIM traits: %+v", mem, tr)
+		}
+		if tr := AnalyzeTraits(WSLS(sp)); !tr.Nice || !tr.Retaliatory {
+			t.Errorf("memory %d WSLS traits: %+v", mem, tr)
+		}
+	}
+}
+
+func TestTraitsString(t *testing.T) {
+	sp := NewSpace(1)
+	if got := AnalyzeTraits(TFT(sp)).String(); got != "nice retaliatory forgiving(1)" {
+		t.Fatalf("TFT label %q", got)
+	}
+	if got := AnalyzeTraits(Grim(sp)).String(); got != "nice retaliatory unforgiving" {
+		t.Fatalf("GRIM label %q", got)
+	}
+	if got := AnalyzeTraits(AllC(sp)).String(); got != "nice forgiving" {
+		t.Fatalf("ALLC label %q", got)
+	}
+	if got := AnalyzeTraits(AllD(sp)).String(); got != "not-nice retaliatory unforgiving" {
+		t.Fatalf("ALLD label %q", got)
+	}
+}
+
+func TestTraitsRandomStrategiesConsistent(t *testing.T) {
+	// Structural invariants over random strategies: forgiveness rounds in
+	// [-1, horizon); defection rate in [0,1]; nice implies opening with C.
+	src := rng.New(41)
+	for _, mem := range []int{1, 2, 4} {
+		sp := NewSpace(mem)
+		horizon := forgiveProbeHorizon(sp)
+		for i := 0; i < 50; i++ {
+			p := RandomPure(sp, src)
+			tr := AnalyzeTraits(p)
+			if tr.ForgivenessRounds < -1 || tr.ForgivenessRounds >= horizon {
+				t.Fatalf("forgiveness %d out of range", tr.ForgivenessRounds)
+			}
+			if tr.DefectionRate < 0 || tr.DefectionRate > 1 {
+				t.Fatalf("defection rate %v", tr.DefectionRate)
+			}
+			if tr.Nice && tr.FirstMove != Cooperate {
+				t.Fatal("nice strategy opening with D")
+			}
+		}
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for n, want := range map[int]string{0: "0", 7: "7", 42: "42", 1234: "1234"} {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q", n, got)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package topology
+
+import "fmt"
+
+// The paper's stated future work (§VI-E): "investigate custom mappings to
+// help the performance for non-powers-of-2 partition sizes." This file
+// implements that study's machinery: alternative rank→coordinate mappings
+// and a cost functional for the application's actual communication pattern
+// (all ranks exchange with the Nature Agent at rank 0, plus tree
+// collectives), so mappings can be compared quantitatively.
+
+// Mapping assigns torus coordinates to ranks.
+type Mapping interface {
+	// Name identifies the mapping in reports.
+	Name() string
+	// Coord returns the torus coordinate of a rank in [0, t.Nodes()).
+	Coord(t Torus, rank int) Coord
+}
+
+// XYZMapping is the default lexicographic mapping (X fastest), Blue Gene's
+// standard order.
+type XYZMapping struct{}
+
+// Name implements Mapping.
+func (XYZMapping) Name() string { return "xyz" }
+
+// Coord implements Mapping.
+func (XYZMapping) Coord(t Torus, rank int) Coord { return t.CoordOf(rank) }
+
+// ZYXMapping fills Z fastest — the transpose order, a common remap when
+// the partition's long axis mismatches the traffic pattern.
+type ZYXMapping struct{}
+
+// Name implements Mapping.
+func (ZYXMapping) Name() string { return "zyx" }
+
+// Coord implements Mapping.
+func (ZYXMapping) Coord(t Torus, rank int) Coord {
+	if rank < 0 || rank >= t.Nodes() {
+		panic(fmt.Sprintf("topology: rank %d out of torus", rank))
+	}
+	return Coord{
+		Z: rank % t.DZ,
+		Y: (rank / t.DZ) % t.DY,
+		X: rank / (t.DZ * t.DY),
+	}
+}
+
+// SnakeMapping is the boustrophedon (serpentine) order: consecutive ranks
+// are always torus neighbours, which keeps blocks of consecutive ranks
+// physically compact — the property that helps non-power-of-two partitions,
+// where the trailing ranks of a lexicographic order end up far from rank 0.
+type SnakeMapping struct{}
+
+// Name implements Mapping.
+func (SnakeMapping) Name() string { return "snake" }
+
+// Coord implements Mapping.
+func (SnakeMapping) Coord(t Torus, rank int) Coord {
+	if rank < 0 || rank >= t.Nodes() {
+		panic(fmt.Sprintf("topology: rank %d out of torus", rank))
+	}
+	plane := t.DX * t.DY
+	z := rank / plane
+	i := rank % plane
+	// Odd Z slabs traverse the whole XY plane in reverse, so the last cell
+	// of slab z and the first of slab z+1 are vertical neighbours.
+	if z%2 == 1 {
+		i = plane - 1 - i
+	}
+	y := i / t.DX
+	x := i % t.DX
+	// Odd rows run right-to-left.
+	if y%2 == 1 {
+		x = t.DX - 1 - x
+	}
+	return Coord{X: x, Y: y, Z: z}
+}
+
+// BlockedMapping groups ranks into bx*by*bz sub-blocks filled completely
+// before moving on — the "custom mapping" shape vendors recommend for
+// collective-heavy codes, keeping tree neighbours physically close.
+type BlockedMapping struct {
+	BX, BY, BZ int
+}
+
+// Name implements Mapping.
+func (m BlockedMapping) Name() string {
+	return fmt.Sprintf("blocked%dx%dx%d", m.BX, m.BY, m.BZ)
+}
+
+// Coord implements Mapping.
+func (m BlockedMapping) Coord(t Torus, rank int) Coord {
+	if m.BX < 1 || m.BY < 1 || m.BZ < 1 {
+		panic("topology: blocked mapping needs positive block dims")
+	}
+	if rank < 0 || rank >= t.Nodes() {
+		panic(fmt.Sprintf("topology: rank %d out of torus", rank))
+	}
+	// Number of blocks along each axis (dimensions must divide evenly for
+	// a clean blocking; remainders fall back to clamping into the last
+	// block).
+	nbx := (t.DX + m.BX - 1) / m.BX
+	nby := (t.DY + m.BY - 1) / m.BY
+	blockSize := m.BX * m.BY * m.BZ
+	block := rank / blockSize
+	within := rank % blockSize
+	bx := block % nbx
+	by := (block / nbx) % nby
+	bz := block / (nbx * nby)
+	wx := within % m.BX
+	wy := (within / m.BX) % m.BY
+	wz := within / (m.BX * m.BY)
+	return Coord{
+		X: min(bx*m.BX+wx, t.DX-1),
+		Y: min(by*m.BY+wy, t.DY-1),
+		Z: min(bz*m.BZ+wz, t.DZ-1),
+	}
+}
+
+// NatureTrafficCost evaluates a mapping for this application's dominant
+// communication pattern on a partition of `ranks` nodes embedded in the
+// torus (ranks <= t.Nodes()): the mean torus distance from every worker to
+// the Nature Agent at rank 0 (point-to-point fitness returns) plus the mean
+// distance between binomial-tree partners (broadcast/reduce hops). Lower is
+// better.
+func NatureTrafficCost(t Torus, m Mapping, ranks int) (float64, error) {
+	if ranks < 2 || ranks > t.Nodes() {
+		return 0, fmt.Errorf("topology: %d ranks do not fit torus of %d nodes", ranks, t.Nodes())
+	}
+	coords := make([]Coord, ranks)
+	for r := 0; r < ranks; r++ {
+		coords[r] = m.Coord(t, r)
+	}
+	dist := func(a, b Coord) float64 {
+		return float64(axisDist(a.X, b.X, t.DX) + axisDist(a.Y, b.Y, t.DY) + axisDist(a.Z, b.Z, t.DZ))
+	}
+	// Point-to-point term: mean worker -> rank 0 distance.
+	p2p := 0.0
+	for r := 1; r < ranks; r++ {
+		p2p += dist(coords[r], coords[0])
+	}
+	p2p /= float64(ranks - 1)
+	// Collective term: mean distance over the binomial-tree edges
+	// (vrank -> vrank - highest set bit), the hops a broadcast traverses.
+	tree, edges := 0.0, 0
+	for v := 1; v < ranks; v++ {
+		parent := v &^ (1 << (bitsLen(uint(v)) - 1))
+		tree += dist(coords[v], coords[parent])
+		edges++
+	}
+	tree /= float64(edges)
+	return p2p + tree, nil
+}
+
+func bitsLen(v uint) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// CompareMappings evaluates the candidate mappings on the given partition
+// and returns name -> cost.
+func CompareMappings(t Torus, ranks int, mappings []Mapping) (map[string]float64, error) {
+	out := make(map[string]float64, len(mappings))
+	for _, m := range mappings {
+		c, err := NatureTrafficCost(t, m, ranks)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Name()] = c
+	}
+	return out, nil
+}
+
+// DefaultMappings returns the candidate set the mapping study compares.
+func DefaultMappings(t Torus) []Mapping {
+	ms := []Mapping{XYZMapping{}, ZYXMapping{}, SnakeMapping{}}
+	// A cubic-ish block that divides typical power-of-two torus dims.
+	if t.DX >= 2 && t.DY >= 2 && t.DZ >= 2 {
+		ms = append(ms, BlockedMapping{BX: 2, BY: 2, BZ: 2})
+	}
+	return ms
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV hardens the trace parser: arbitrary text must never panic,
+// and accepted input must re-serialise losslessly.
+func FuzzParseCSV(f *testing.F) {
+	f.Add("generation,mean_fitness,cooperation,distinct_strategies,pc_event,adopted,mutated\n" +
+		"0,2.5,0.5,3,true,false,true\n1,2.6,0.51,2,false,false,false\n")
+	f.Add("generation,mean_fitness,cooperation,distinct_strategies,pc_event,adopted,mutated\n")
+	f.Add("")
+	f.Add("garbage\n1,2,3")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := ParseCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		r := NewRecorder(0)
+		for _, rec := range recs {
+			r.Add(rec)
+		}
+		var sb strings.Builder
+		if err := r.WriteCSV(&sb); err != nil {
+			t.Fatalf("accepted records do not re-serialise: %v", err)
+		}
+		again, err := ParseCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-serialised records do not parse: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if recs[i] != again[i] {
+				t.Fatalf("record %d changed: %+v -> %+v", i, recs[i], again[i])
+			}
+		}
+	})
+}

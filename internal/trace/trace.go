@@ -1,0 +1,147 @@
+// Package trace records per-generation simulation events and exports them
+// as CSV or JSON — the observability layer sitting where the paper's Nature
+// Agent "handles all file I/O to record the global variables across
+// generations".
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Record is one generation's logged state.
+type Record struct {
+	Generation  int     `json:"generation"`
+	MeanFitness float64 `json:"mean_fitness"`
+	Cooperation float64 `json:"cooperation"`
+	Distinct    int     `json:"distinct_strategies"`
+	PC          bool    `json:"pc_event"`
+	Adopted     bool    `json:"adopted"`
+	Mutated     bool    `json:"mutated"`
+}
+
+// Recorder accumulates records with an optional cap; when full, the oldest
+// half is compacted away by doubling the keep-stride (reservoir-style
+// thinning that preserves trajectory shape for arbitrarily long runs).
+type Recorder struct {
+	records []Record
+	cap     int
+	stride  int
+	seen    int
+}
+
+// NewRecorder creates a recorder keeping at most capacity records
+// (capacity <= 0 means unbounded).
+func NewRecorder(capacity int) *Recorder {
+	return &Recorder{cap: capacity, stride: 1}
+}
+
+// Add appends a record, thinning when over capacity.
+func (r *Recorder) Add(rec Record) {
+	r.seen++
+	if r.stride > 1 && rec.Generation%r.stride != 0 {
+		return
+	}
+	r.records = append(r.records, rec)
+	if r.cap > 0 && len(r.records) > r.cap {
+		r.stride *= 2
+		kept := r.records[:0]
+		for _, old := range r.records {
+			if old.Generation%r.stride == 0 {
+				kept = append(kept, old)
+			}
+		}
+		r.records = kept
+	}
+}
+
+// Len returns the number of kept records.
+func (r *Recorder) Len() int { return len(r.records) }
+
+// Seen returns the number of records ever offered.
+func (r *Recorder) Seen() int { return r.seen }
+
+// Records returns the kept records (not a copy).
+func (r *Recorder) Records() []Record { return r.records }
+
+// Stride returns the current keep-stride.
+func (r *Recorder) Stride() int { return r.stride }
+
+// WriteCSV writes the kept records as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("generation,mean_fitness,cooperation,distinct_strategies,pc_event,adopted,mutated\n")
+	for _, rec := range r.records {
+		sb.WriteString(strconv.Itoa(rec.Generation))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatFloat(rec.MeanFitness, 'g', -1, 64))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatFloat(rec.Cooperation, 'g', -1, 64))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.Itoa(rec.Distinct))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatBool(rec.PC))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatBool(rec.Adopted))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatBool(rec.Mutated))
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteJSON writes the kept records as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(r.records)
+}
+
+// ParseCSV reads records written by WriteCSV.
+func ParseCSV(rd io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if !strings.HasPrefix(lines[0], "generation,") {
+		return nil, fmt.Errorf("trace: missing CSV header")
+	}
+	out := make([]Record, 0, len(lines)-1)
+	for ln, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("trace: line %d has %d fields", ln+2, len(fields))
+		}
+		var rec Record
+		if rec.Generation, err = strconv.Atoi(fields[0]); err != nil {
+			return nil, fmt.Errorf("trace: line %d generation: %w", ln+2, err)
+		}
+		if rec.MeanFitness, err = strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d mean_fitness: %w", ln+2, err)
+		}
+		if rec.Cooperation, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d cooperation: %w", ln+2, err)
+		}
+		if rec.Distinct, err = strconv.Atoi(fields[3]); err != nil {
+			return nil, fmt.Errorf("trace: line %d distinct: %w", ln+2, err)
+		}
+		if rec.PC, err = strconv.ParseBool(fields[4]); err != nil {
+			return nil, fmt.Errorf("trace: line %d pc: %w", ln+2, err)
+		}
+		if rec.Adopted, err = strconv.ParseBool(fields[5]); err != nil {
+			return nil, fmt.Errorf("trace: line %d adopted: %w", ln+2, err)
+		}
+		if rec.Mutated, err = strconv.ParseBool(fields[6]); err != nil {
+			return nil, fmt.Errorf("trace: line %d mutated: %w", ln+2, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

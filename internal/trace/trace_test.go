@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func rec(gen int) Record {
+	return Record{Generation: gen, MeanFitness: float64(gen) * 0.1, Cooperation: 0.5, Distinct: gen % 7, PC: gen%2 == 0, Adopted: gen%4 == 0, Mutated: gen%3 == 0}
+}
+
+func TestRecorderUnbounded(t *testing.T) {
+	r := NewRecorder(0)
+	for g := 0; g < 100; g++ {
+		r.Add(rec(g))
+	}
+	if r.Len() != 100 || r.Seen() != 100 {
+		t.Fatalf("len %d seen %d", r.Len(), r.Seen())
+	}
+	if r.Stride() != 1 {
+		t.Fatal("unbounded recorder thinned")
+	}
+}
+
+func TestRecorderThinning(t *testing.T) {
+	r := NewRecorder(64)
+	for g := 0; g < 10000; g++ {
+		r.Add(rec(g))
+	}
+	if r.Len() > 64 {
+		t.Fatalf("kept %d records over cap 64", r.Len())
+	}
+	if r.Seen() != 10000 {
+		t.Fatalf("seen %d", r.Seen())
+	}
+	if r.Stride() < 2 {
+		t.Fatal("no thinning occurred")
+	}
+	// Kept generations must respect the stride and stay ordered.
+	last := -1
+	for _, kept := range r.Records() {
+		if kept.Generation%r.Stride() != 0 {
+			t.Fatalf("generation %d kept at stride %d", kept.Generation, r.Stride())
+		}
+		if kept.Generation <= last {
+			t.Fatal("records out of order")
+		}
+		last = kept.Generation
+	}
+	// Early and late trajectory both survive thinning.
+	if r.Records()[0].Generation > 1000 {
+		t.Fatalf("early trajectory lost: first kept gen %d", r.Records()[0].Generation)
+	}
+	if last < 8000 {
+		t.Fatalf("late trajectory lost: last kept gen %d", last)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := NewRecorder(0)
+	for g := 0; g < 25; g++ {
+		r.Add(rec(g))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 25 {
+		t.Fatalf("parsed %d records", len(got))
+	}
+	for i, g := range got {
+		if g != rec(i) {
+			t.Fatalf("record %d = %+v, want %+v", i, g, rec(i))
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	r := NewRecorder(0)
+	r.Add(rec(3))
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"generation":3`) || !strings.Contains(s, `"mean_fitness"`) {
+		t.Fatalf("JSON output missing fields: %s", s)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not,a,header\n1,2,3",
+		"generation,mean_fitness,cooperation,distinct_strategies,pc_event,adopted,mutated\n1,2",
+		"generation,mean_fitness,cooperation,distinct_strategies,pc_event,adopted,mutated\nx,1,1,1,true,true,true",
+		"generation,mean_fitness,cooperation,distinct_strategies,pc_event,adopted,mutated\n1,x,1,1,true,true,true",
+		"generation,mean_fitness,cooperation,distinct_strategies,pc_event,adopted,mutated\n1,1,1,x,true,true,true",
+		"generation,mean_fitness,cooperation,distinct_strategies,pc_event,adopted,mutated\n1,1,1,1,maybe,true,true",
+	}
+	for i, c := range cases {
+		if _, err := ParseCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestParseCSVHeaderOnly(t *testing.T) {
+	got, err := ParseCSV(strings.NewReader("generation,mean_fitness,cooperation,distinct_strategies,pc_event,adopted,mutated\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed %d records from header-only CSV", len(got))
+	}
+}
