@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet race strict fuzz check clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the concurrent packages, fault-injection and
+# recovery tests included (they run scripted kills/stalls under -race).
+race:
+	$(GO) test -race ./internal/mpi ./internal/sim
+
+# Strict payload accounting: unknown wire types panic instead of logging.
+strict:
+	$(GO) test -tags mpistrict ./internal/mpi ./internal/sim
+
+fuzz:
+	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
+
+check: vet
+	$(GO) test -race ./...
+
+clean:
+	$(GO) clean ./...

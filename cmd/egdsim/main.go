@@ -8,15 +8,20 @@
 //	egdsim -memory 1 -ssets 64 -gens 5000
 //	egdsim -memory 1 -ssets 100 -gens 20000 -mixed -error 0.01 -beta 10
 //	egdsim -memory 6 -ssets 32 -gens 100 -ranks 8 -full
+//	egdsim -ssets 32 -gens 2000 -ranks 4 -checkpoint-every 100 \
+//	    -checkpoint-file run.ckpt -inject-fault rank=2,after=500
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/strategy"
 	"repro/internal/trace"
@@ -49,7 +54,12 @@ func run() error {
 		csvPath   = flag.String("trace", "", "write per-generation CSV trace to this file")
 		ckpt      = flag.String("checkpoint", "", "write final population checkpoint to this file")
 		resume    = flag.String("resume", "", "resume from a checkpoint file (continues its trajectory)")
-		ckptEvery = flag.Int("checkpoint-every", 0, "also write the checkpoint every N generations (requires -checkpoint)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "write a recovery checkpoint every N generations")
+		ckptFile  = flag.String("checkpoint-file", "", "recovery checkpoint path for -checkpoint-every (default: the -checkpoint path)")
+		inject    = flag.String("inject-fault", "", "scripted fault specs, ';'-separated, e.g. 'rank=2,after=500' (see internal/mpi.ParseFault)")
+		restarts  = flag.Int("max-restarts", 3, "restart budget after rank failures (parallel engine; <= 0 disables recovery)")
+		degrade   = flag.Bool("degrade", false, "on worker failure, restart on one fewer rank")
+		deadline  = flag.Duration("worker-timeout", 0, "receive deadline that turns a stalled rank into a detectable failure (parallel engine)")
 		mapRows   = flag.Int("map", 0, "print an ASCII strategy map of up to this many SSets")
 		top       = flag.Int("top", 5, "report the top-k most abundant final strategies")
 	)
@@ -89,8 +99,46 @@ func run() error {
 		cfg.InitialStrategies = snap.Strategies
 		cfg.StartGeneration = int(snap.Generation)
 		cfg.Seed = snap.Seed
+		if snap.Counters != nil {
+			cfg.BaseCounters = sim.Counters{
+				GamesPlayed: snap.Counters.GamesPlayed,
+				PCEvents:    snap.Counters.PCEvents,
+				Adoptions:   snap.Counters.Adoptions,
+				Mutations:   snap.Counters.Mutations,
+			}
+		}
 		fmt.Printf("resuming from %s at generation %d (seed %d)\n", *resume, snap.Generation, snap.Seed)
 	}
+	if *ranks < 2 && (*inject != "" || *degrade || *deadline > 0) {
+		return fmt.Errorf("-inject-fault, -degrade and -worker-timeout need the parallel engine (-ranks >= 2)")
+	}
+	if *ckptEvery > 0 {
+		path := *ckptFile
+		if path == "" {
+			path = *ckpt
+		}
+		if path == "" {
+			return fmt.Errorf("-checkpoint-every requires -checkpoint-file (or -checkpoint) FILE")
+		}
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.CheckpointSink = &sim.FileSink{Path: path}
+	}
+	if *inject != "" {
+		plan := mpi.NewFaultPlan()
+		for _, spec := range strings.Split(*inject, ";") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			f, err := mpi.ParseFault(spec)
+			if err != nil {
+				return err
+			}
+			plan.Add(f)
+		}
+		cfg.FaultPlan = plan
+	}
+	cfg.RecvTimeout = *deadline
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -110,19 +158,6 @@ func run() error {
 			})
 		}))
 	}
-	if *ckptEvery > 0 {
-		if *ckpt == "" {
-			return fmt.Errorf("-checkpoint-every requires -checkpoint FILE")
-		}
-		observers = append(observers, sim.ObserverFunc(func(gen int, pop *sim.Population, ev sim.Events) {
-			if gen == 0 || gen%*ckptEvery != 0 {
-				return
-			}
-			if err := writeCheckpoint(*ckpt, uint64(gen), cfg.Seed, *memory, pop.Snapshot(), nil); err != nil {
-				fmt.Fprintf(os.Stderr, "egdsim: periodic checkpoint at gen %d: %v\n", gen, err)
-			}
-		}))
-	}
 	switch len(observers) {
 	case 1:
 		cfg.Observer = observers[0]
@@ -137,13 +172,29 @@ func run() error {
 		}
 	}
 
+	resilient := cfg.FaultPlan != nil || cfg.CheckpointEvery > 0 || *degrade || cfg.RecvTimeout > 0
+	if cfg.CheckpointEvery > 0 || (resilient && *ranks >= 2) {
+		cfg.EventLog = trace.NewEventLog()
+	}
 	var (
 		res *sim.Result
 		err error
 	)
-	if *ranks >= 2 {
+	switch {
+	case *ranks >= 2 && resilient:
+		budget := *restarts
+		if budget <= 0 {
+			budget = -1 // RestartPolicy treats negative as "no restarts"
+		}
+		res, err = sim.RunParallelResilient(cfg, *ranks, sim.RestartPolicy{
+			MaxRestarts: budget,
+			Backoff:     100 * time.Millisecond,
+			MaxBackoff:  2 * time.Second,
+			Degrade:     *degrade,
+		})
+	case *ranks >= 2:
 		res, err = sim.RunParallel(cfg, *ranks)
-	} else {
+	default:
 		res, err = sim.RunSequential(cfg)
 	}
 	if err != nil {
@@ -156,6 +207,19 @@ func run() error {
 		cfg.PopulationSize(), cfg.GamesPerGeneration())
 	fmt.Printf("work: %d games, %d PC events, %d adoptions, %d mutations\n",
 		res.Counters.GamesPlayed, res.Counters.PCEvents, res.Counters.Adoptions, res.Counters.Mutations)
+	if cfg.EventLog != nil {
+		fmt.Printf("fault tolerance: %d checkpoints, %d faults, %d recoveries, %d degradations, %d restarts\n",
+			cfg.EventLog.Count(trace.EventCheckpoint), cfg.EventLog.Count(trace.EventFault),
+			cfg.EventLog.Count(trace.EventRecovery), cfg.EventLog.Count(trace.EventDegrade),
+			res.Restarts)
+		for _, e := range cfg.EventLog.Events() {
+			if e.Kind == trace.EventCheckpoint {
+				continue // one per cadence tick; the count above suffices
+			}
+			detail := strings.ReplaceAll(e.Detail, "\n", "; ") // errors.Join is multi-line
+			fmt.Printf("  %s: rank %d, attempt %d  %s\n", e.Kind, e.Rank, e.Attempt, detail)
+		}
+	}
 	if g, v, ok := res.MeanFitness.Last(); ok {
 		fmt.Printf("final mean fitness (gen %d): %.4f  [1=all-defect .. 3=full cooperation]\n", g, v)
 	}
@@ -186,7 +250,7 @@ func run() error {
 		fmt.Printf("trace: %d records -> %s\n", rec.Len(), *csvPath)
 	}
 	if *ckpt != "" {
-		if err := writeCheckpoint(*ckpt, uint64(cfg.StartGeneration+*gens), cfg.Seed, *memory, res.Final, res.FinalFitness); err != nil {
+		if err := writeCheckpoint(*ckpt, uint64(cfg.StartGeneration+*gens), cfg.Seed, *memory, res); err != nil {
 			return err
 		}
 		fmt.Printf("checkpoint -> %s\n", *ckpt)
@@ -194,9 +258,10 @@ func run() error {
 	return nil
 }
 
-// writeCheckpoint atomically-ish writes a snapshot (write then rename is
-// unnecessary for this tool; a plain truncate-write keeps it simple).
-func writeCheckpoint(path string, gen, seed uint64, memory int, strategies []strategy.Strategy, fitness []float64) error {
+// writeCheckpoint atomically-ish writes a final snapshot, counters included
+// so a later -resume continues the cumulative work totals (write then rename
+// is unnecessary for this tool; a plain truncate-write keeps it simple).
+func writeCheckpoint(path string, gen, seed uint64, memory int, res *sim.Result) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -206,8 +271,14 @@ func writeCheckpoint(path string, gen, seed uint64, memory int, strategies []str
 		Generation: gen,
 		Seed:       seed,
 		Memory:     memory,
-		Strategies: strategies,
-		Fitness:    fitness,
+		Strategies: res.Final,
+		Fitness:    res.FinalFitness,
+		Counters: &checkpoint.RunCounters{
+			GamesPlayed: res.Counters.GamesPlayed,
+			PCEvents:    res.Counters.PCEvents,
+			Adoptions:   res.Counters.Adoptions,
+			Mutations:   res.Counters.Mutations,
+		},
 	}
 	return checkpoint.Write(f, snap)
 }

@@ -17,10 +17,14 @@ import (
 	"repro/internal/strategy"
 )
 
-// Magic and version identify the stream format.
+// Magic and version identify the stream format. Version 2 appends the run
+// counters after the fitness block; Write emits the lowest version that can
+// represent the snapshot, so counter-less snapshots stay byte-identical to
+// version 1 streams and Read accepts both.
 const (
-	Magic   uint32 = 0x45474431 // "EGD1"
-	Version uint16 = 1
+	Magic           uint32 = 0x45474431 // "EGD1"
+	Version         uint16 = 1
+	VersionCounters uint16 = 2
 )
 
 // Strategy kind tags in the stream.
@@ -42,6 +46,19 @@ type Snapshot struct {
 	// Fitness optionally holds every SSet's fitness at the snapshot
 	// (empty means not recorded).
 	Fitness []float64
+	// Counters optionally holds the run's cumulative event counters, so a
+	// resumed run can report totals identical to an uninterrupted one. Nil
+	// means not recorded (and the snapshot encodes as version 1).
+	Counters *RunCounters
+}
+
+// RunCounters mirrors sim.Counters without importing it (checkpoint is a
+// leaf package): cumulative event totals at the snapshot generation.
+type RunCounters struct {
+	GamesPlayed uint64
+	PCEvents    uint64
+	Adoptions   uint64
+	Mutations   uint64
 }
 
 // Validate checks internal consistency.
@@ -76,7 +93,11 @@ func Write(w io.Writer, s *Snapshot) error {
 	writeU32 := func(v uint32) { _ = binary.Write(bw, binary.LittleEndian, v) }
 	writeU64 := func(v uint64) { _ = binary.Write(bw, binary.LittleEndian, v) }
 	writeU32(Magic)
-	_ = binary.Write(bw, binary.LittleEndian, Version)
+	version := Version
+	if s.Counters != nil {
+		version = VersionCounters
+	}
+	_ = binary.Write(bw, binary.LittleEndian, version)
 	_ = bw.WriteByte(byte(s.Memory))
 	_ = bw.WriteByte(0) // reserved
 	writeU64(s.Generation)
@@ -115,6 +136,12 @@ func Write(w io.Writer, s *Snapshot) error {
 			writeU64(math.Float64bits(f))
 		}
 	}
+	if s.Counters != nil {
+		writeU64(s.Counters.GamesPlayed)
+		writeU64(s.Counters.PCEvents)
+		writeU64(s.Counters.Adoptions)
+		writeU64(s.Counters.Mutations)
+	}
 	return bw.Flush()
 }
 
@@ -132,7 +159,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != Version {
+	if version != Version && version != VersionCounters {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", version)
 	}
 	memByte, err := br.ReadByte()
@@ -219,6 +246,17 @@ func Read(r io.Reader) (*Snapshot, error) {
 				return nil, err
 			}
 			s.Fitness[i] = math.Float64frombits(bits64)
+		}
+	}
+	if version >= VersionCounters {
+		s.Counters = &RunCounters{}
+		for _, field := range []*uint64{
+			&s.Counters.GamesPlayed, &s.Counters.PCEvents,
+			&s.Counters.Adoptions, &s.Counters.Mutations,
+		} {
+			if err := binary.Read(br, binary.LittleEndian, field); err != nil {
+				return nil, fmt.Errorf("checkpoint: reading counters: %w", err)
+			}
 		}
 	}
 	return s, nil

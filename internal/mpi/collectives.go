@@ -16,6 +16,18 @@ const (
 	tagScatter
 )
 
+// enterCollective accounts one collective entry for this rank and consults
+// the fault plan: a scripted FailCollective fault makes the rank fail here
+// with ErrInjectedFault, modelling a node dying inside a collective.
+func (c *Comm) enterCollective() error {
+	c.world.collOps.Add(1)
+	n := c.world.collCounts[c.rank].Add(1)
+	if p := c.world.plan; p != nil && p.onCollective(c.rank, n) {
+		return fmt.Errorf("mpi: rank %d failed at collective %d: %w", c.rank, n, ErrInjectedFault)
+	}
+	return nil
+}
+
 // Bcast broadcasts root's payload to every rank along a binomial tree
 // (log2 P rounds — the collective-network pattern the paper leans on).
 // Every rank receives the broadcast value; root receives its own payload
@@ -24,7 +36,9 @@ func (c *Comm) Bcast(root int, payload any) (any, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
-	c.world.collOps.Add(1)
+	if err := c.enterCollective(); err != nil {
+		return nil, err
+	}
 	size := c.world.size
 	if size == 1 {
 		return payload, nil
@@ -91,7 +105,9 @@ func (c *Comm) Reduce(root int, value float64, op Op) (float64, error) {
 	if err := c.checkRank(root); err != nil {
 		return 0, err
 	}
-	c.world.collOps.Add(1)
+	if err := c.enterCollective(); err != nil {
+		return 0, err
+	}
 	size := c.world.size
 	vrank := (c.rank - root + size) % size
 	acc := value
@@ -140,7 +156,9 @@ func (c *Comm) ReduceSlice(root int, values []float64, op Op) ([]float64, error)
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
-	c.world.collOps.Add(1)
+	if err := c.enterCollective(); err != nil {
+		return nil, err
+	}
 	size := c.world.size
 	vrank := (c.rank - root + size) % size
 	acc := make([]float64, len(values))
@@ -182,7 +200,9 @@ func (c *Comm) Gather(root int, payload any) ([]any, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
-	c.world.collOps.Add(1)
+	if err := c.enterCollective(); err != nil {
+		return nil, err
+	}
 	if c.rank != root {
 		if err := c.send(root, tagGather, payload); err != nil {
 			return nil, err
@@ -226,7 +246,9 @@ func (c *Comm) Scatter(root int, payloads []any) (any, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
-	c.world.collOps.Add(1)
+	if err := c.enterCollective(); err != nil {
+		return nil, err
+	}
 	if c.rank == root {
 		if len(payloads) != c.world.size {
 			return nil, fmt.Errorf("mpi: Scatter needs %d payloads, got %d", c.world.size, len(payloads))
@@ -252,7 +274,9 @@ func (c *Comm) Scatter(root int, payloads []any) (any, error) {
 // followed by a broadcast release (dissemination would be fewer rounds; the
 // tree matches the Blue Gene collective network the paper describes).
 func (c *Comm) Barrier() error {
-	c.world.collOps.Add(1)
+	if err := c.enterCollective(); err != nil {
+		return err
+	}
 	size := c.world.size
 	vrank := c.rank
 	// Up-sweep: each node waits for its binomial-tree children then signals
@@ -297,7 +321,9 @@ func (c *Comm) NaiveBcast(root int, payload any) (any, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
-	c.world.collOps.Add(1)
+	if err := c.enterCollective(); err != nil {
+		return nil, err
+	}
 	if c.rank == root {
 		for dst := 0; dst < c.world.size; dst++ {
 			if dst == root {

@@ -23,8 +23,10 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Wildcards for Recv matching.
@@ -37,8 +39,10 @@ const (
 // non-negative and below this value.
 const internalTagBase = 1 << 30
 
-// ErrAborted is returned by communication calls after any rank in the world
-// has failed, so surviving ranks unwind instead of deadlocking.
+// ErrAborted is the sentinel that communication calls match after any rank
+// in the world has failed, so surviving ranks unwind instead of
+// deadlocking. The concrete error returned is a *RankFailedError naming the
+// first failed rank; errors.Is(err, ErrAborted) remains true for it.
 var ErrAborted = errors.New("mpi: world aborted")
 
 // Message is a received envelope.
@@ -57,10 +61,13 @@ type envelope struct {
 
 // inbox is one rank's mailbox: an unbounded matching queue.
 type inbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []envelope
-	aborted bool
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []envelope
+	// done, when non-nil, is the terminal error blocked takes return after
+	// exhausting queued matches: the abort cause (who failed) or
+	// ErrShutdown once every rank has left Run.
+	done error
 }
 
 func newInbox() *inbox {
@@ -76,18 +83,33 @@ func (ib *inbox) put(e envelope) {
 	ib.cond.Broadcast()
 }
 
-func (ib *inbox) abort() {
+// finish sets the terminal error for blocked takes; the first cause wins.
+func (ib *inbox) finish(cause error) {
 	ib.mu.Lock()
-	ib.aborted = true
+	if ib.done == nil {
+		ib.done = cause
+	}
 	ib.mu.Unlock()
 	ib.cond.Broadcast()
 }
 
 // take removes and returns the first message matching (src, tag); it blocks
-// until one arrives or the world aborts. The AnyTag wildcard matches user
-// tags only — collective-protocol messages live in their own context, as in
-// MPI, so a wildcard receive can never steal a broadcast or barrier packet.
-func (ib *inbox) take(src, tag int) (envelope, error) {
+// until one arrives, the optional timeout expires, the optional cancel flag
+// is raised, or the world ends (abort or shutdown). The AnyTag wildcard
+// matches user tags only — collective-protocol messages live in their own
+// context, as in MPI, so a wildcard receive can never steal a broadcast or
+// barrier packet.
+func (ib *inbox) take(src, tag int, timeout time.Duration, cancelled *bool) (envelope, error) {
+	var expired bool
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			ib.mu.Lock()
+			expired = true
+			ib.mu.Unlock()
+			ib.cond.Broadcast()
+		})
+		defer t.Stop()
+	}
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	for {
@@ -98,8 +120,14 @@ func (ib *inbox) take(src, tag int) (envelope, error) {
 				return e, nil
 			}
 		}
-		if ib.aborted {
-			return envelope{}, ErrAborted
+		if ib.done != nil {
+			return envelope{}, ib.done
+		}
+		if expired {
+			return envelope{}, ErrRecvTimeout
+		}
+		if cancelled != nil && *cancelled {
+			return envelope{}, ErrRecvCancelled
 		}
 		ib.cond.Wait()
 	}
@@ -121,6 +149,17 @@ type World struct {
 	p2pByte atomic.Uint64
 	collOps atomic.Uint64
 	aborted atomic.Bool
+	// cause is the abort cause (a *RankFailedError), stored once by the
+	// CAS winner of abortWith.
+	cause atomic.Value
+	// sendCounts / collCounts are the per-rank operation counters fault
+	// plans key off; deterministic for a deterministic SPMD program.
+	sendCounts []atomic.Uint64
+	collCounts []atomic.Uint64
+	// plan, when non-nil, scripts deterministic fault injection.
+	plan *FaultPlan
+	// recvTimeout, when non-zero, bounds every blocking receive.
+	recvTimeout time.Duration
 }
 
 // NewWorld creates a world with the given number of ranks. It panics if
@@ -129,7 +168,12 @@ func NewWorld(size int) *World {
 	if size < 1 {
 		panic(fmt.Sprintf("mpi: world size %d < 1", size))
 	}
-	w := &World{size: size, boxes: make([]*inbox, size)}
+	w := &World{
+		size:       size,
+		boxes:      make([]*inbox, size),
+		sendCounts: make([]atomic.Uint64, size),
+		collCounts: make([]atomic.Uint64, size),
+	}
 	for i := range w.boxes {
 		w.boxes[i] = newInbox()
 	}
@@ -150,8 +194,14 @@ func (w *World) Stats() Stats {
 
 // Run executes body once per rank, each on its own goroutine, and waits for
 // all to finish. If any rank returns an error or panics, the world is
-// aborted (pending and future Recvs fail with ErrAborted) and Run returns
-// the first error encountered.
+// aborted: pending and future receives on surviving ranks fail with a
+// *RankFailedError naming the first rank that died (which still matches
+// ErrAborted under errors.Is). Run joins every rank's error with
+// errors.Join, in rank order, so a cascading abort cannot mask the root
+// cause. A rank whose own error is not itself an abort echo is wrapped in
+// *RankFailedError; survivors unwinding on the abort are wrapped as plain
+// cascade errors. After all ranks return, receives still pending (leaked
+// Irecvs) are released with ErrShutdown.
 func (w *World) Run(body func(c *Comm) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, w.size)
@@ -161,30 +211,55 @@ func (w *World) Run(body func(c *Comm) error) error {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
-					w.abort()
+					rf := &RankFailedError{Rank: rank, Err: fmt.Errorf("panic: %v", p)}
+					errs[rank] = rf
+					w.abortWith(rf)
 				}
 			}()
 			if err := body(&Comm{world: w, rank: rank}); err != nil {
-				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
-				w.abort()
+				if errors.Is(err, ErrAborted) {
+					// Cascade: this rank is unwinding because another died.
+					errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+					w.abortWith(&RankFailedError{Rank: rank, Err: err})
+				} else {
+					rf := &RankFailedError{Rank: rank, Err: err}
+					errs[rank] = rf
+					w.abortWith(rf)
+				}
 			}
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	w.shutdown()
+	return errors.Join(errs...)
 }
 
-func (w *World) abort() {
+// abortWith marks the world failed; the first cause wins and is what every
+// blocked receive returns.
+func (w *World) abortWith(cause *RankFailedError) {
 	if w.aborted.CompareAndSwap(false, true) {
+		w.cause.Store(cause)
 		for _, ib := range w.boxes {
-			ib.abort()
+			ib.finish(cause)
 		}
+	}
+}
+
+// abortCause returns the recorded failure, or ErrAborted during the brief
+// window before the CAS winner stores it.
+func (w *World) abortCause() error {
+	if c, ok := w.cause.Load().(error); ok {
+		return c
+	}
+	return ErrAborted
+}
+
+// shutdown releases receives still pending after every rank has returned:
+// no matching send can ever arrive, so letting them block would leak their
+// goroutines for the process lifetime.
+func (w *World) shutdown() {
+	for _, ib := range w.boxes {
+		ib.finish(ErrShutdown)
 	}
 }
 
@@ -220,7 +295,27 @@ func (c *Comm) send(dst, tag int, payload any) error {
 		return err
 	}
 	if c.world.aborted.Load() {
-		return ErrAborted
+		return c.world.abortCause()
+	}
+	n := c.world.sendCounts[c.rank].Add(1)
+	if p := c.world.plan; p != nil {
+		v := p.onSend(c.rank, n)
+		if v.kill {
+			return fmt.Errorf("mpi: rank %d killed at send %d: %w", c.rank, n, ErrInjectedFault)
+		}
+		if v.delay > 0 {
+			time.Sleep(v.delay)
+			if c.world.aborted.Load() {
+				return c.world.abortCause()
+			}
+		}
+		if v.drop {
+			// The sender transmitted (counters reflect it); the network
+			// lost the packet.
+			c.world.p2pMsgs.Add(1)
+			c.world.p2pByte.Add(payloadBytes(payload))
+			return nil
+		}
 	}
 	c.world.p2pMsgs.Add(1)
 	c.world.p2pByte.Add(payloadBytes(payload))
@@ -239,8 +334,16 @@ func (c *Comm) Send(dst, tag int, payload any) error {
 }
 
 // Recv blocks until a message matching (src, tag) arrives. Use AnySource /
-// AnyTag as wildcards.
+// AnyTag as wildcards. When the world has a default receive deadline
+// (World.SetRecvTimeout), it applies.
 func (c *Comm) Recv(src, tag int) (Message, error) {
+	return c.RecvTimeout(src, tag, 0)
+}
+
+// RecvTimeout is Recv with an explicit deadline: if no matching message
+// arrives within timeout it returns ErrRecvTimeout. A zero timeout falls
+// back to the world's default deadline (unbounded when that is unset too).
+func (c *Comm) RecvTimeout(src, tag int, timeout time.Duration) (Message, error) {
 	if src != AnySource {
 		if err := c.checkRank(src); err != nil {
 			return Message{}, err
@@ -251,11 +354,18 @@ func (c *Comm) Recv(src, tag int) (Message, error) {
 			return Message{}, err
 		}
 	}
-	return c.recv(src, tag)
+	return c.recvDeadline(src, tag, timeout)
 }
 
 func (c *Comm) recv(src, tag int) (Message, error) {
-	e, err := c.world.boxes[c.rank].take(src, tag)
+	return c.recvDeadline(src, tag, 0)
+}
+
+func (c *Comm) recvDeadline(src, tag int, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		timeout = c.world.recvTimeout
+	}
+	e, err := c.world.boxes[c.rank].take(src, tag, timeout, nil)
 	if err != nil {
 		return Message{}, err
 	}
@@ -264,9 +374,10 @@ func (c *Comm) recv(src, tag int) (Message, error) {
 
 // Request is a pending non-blocking operation.
 type Request struct {
-	done chan struct{}
-	msg  Message
-	err  error
+	done   chan struct{}
+	msg    Message
+	err    error
+	cancel func()
 }
 
 // Wait blocks until the operation completes and returns its result. For
@@ -274,6 +385,16 @@ type Request struct {
 func (r *Request) Wait() (Message, error) {
 	<-r.done
 	return r.msg, r.err
+}
+
+// Cancel aborts a pending Irecv: its goroutine stops waiting and Wait
+// returns ErrRecvCancelled. Calling Cancel on a completed request, a
+// request whose message already matched, or an Isend request is a no-op.
+// Cancel is safe to call from any goroutine, any number of times.
+func (r *Request) Cancel() {
+	if r.cancel != nil {
+		r.cancel()
+	}
 }
 
 // Isend starts a non-blocking send. With this runtime's buffered sends it
@@ -286,11 +407,41 @@ func (c *Comm) Isend(dst, tag int, payload any) *Request {
 	return r
 }
 
-// Irecv starts a non-blocking receive completed by Wait.
+// Irecv starts a non-blocking receive completed by Wait and abandoned by
+// Cancel. An Irecv that never matches is also released when the world
+// aborts or shuts down, so it cannot leak its goroutine past Run.
 func (c *Comm) Irecv(src, tag int) *Request {
 	r := &Request{done: make(chan struct{})}
+	if src != AnySource {
+		if err := c.checkRank(src); err != nil {
+			r.err = err
+			close(r.done)
+			return r
+		}
+	}
+	if tag != AnyTag {
+		if err := c.checkUserTag(tag); err != nil {
+			r.err = err
+			close(r.done)
+			return r
+		}
+	}
+	ib := c.world.boxes[c.rank]
+	cancelled := new(bool)
+	r.cancel = func() {
+		ib.mu.Lock()
+		*cancelled = true
+		ib.mu.Unlock()
+		ib.cond.Broadcast()
+	}
+	timeout := c.world.recvTimeout
 	go func() {
-		r.msg, r.err = c.Recv(src, tag)
+		e, err := ib.take(src, tag, timeout, cancelled)
+		if err != nil {
+			r.err = err
+		} else {
+			r.msg = Message{Source: e.source, Tag: e.tag, Payload: e.payload}
+		}
 		close(r.done)
 	}()
 	return r
@@ -312,17 +463,48 @@ func payloadBytes(p any) uint64 {
 		return uint64(8 * len(v))
 	case []uint32:
 		return uint64(4 * len(v))
+	case []any:
+		// Aggregate payloads (Gather results fed back through Bcast in
+		// Allgather) cost the sum of their elements on the wire.
+		var total uint64
+		for _, e := range v {
+			total += payloadBytes(e)
+		}
+		return total
 	case string:
 		return uint64(len(v))
 	case float64, int, uint64, int64, uint32, int32:
 		return 8
 	case bool, uint8, int8:
 		return 1
+	case [2]int:
+		return 16
 	case Sizer:
 		return v.WireBytes()
 	default:
+		unknownPayload(p)
 		return 8
 	}
+}
+
+// unknownPayloadSeen dedupes unknown-payload diagnostics by concrete type.
+var unknownPayloadSeen sync.Map
+
+// unknownPayload flags a payload type the wire-size model does not know:
+// silently counting it as 8 bytes corrupts the communication counters the
+// perf model projects from. In regular builds it logs once per type; under
+// the mpistrict build tag (the strict test configuration) it panics so the
+// gap cannot ship.
+func unknownPayload(p any) {
+	name := fmt.Sprintf("%T", p)
+	if _, seen := unknownPayloadSeen.LoadOrStore(name, struct{}{}); seen {
+		return
+	}
+	msg := fmt.Sprintf("mpi: payload type %s has no modelled wire size (counting 8 bytes); implement mpi.Sizer", name)
+	if strictPayloadSizes {
+		panic(msg)
+	}
+	log.Print(msg)
 }
 
 // Sizer lets payload types report their modelled wire size to the

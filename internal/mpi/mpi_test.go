@@ -363,10 +363,11 @@ func TestStatsCounters(t *testing.T) {
 }
 
 func TestPayloadBytes(t *testing.T) {
-	cases := []struct {
+	type payloadCase struct {
 		p    any
 		want uint64
-	}{
+	}
+	cases := []payloadCase{
 		{nil, 0},
 		{[]byte{1, 2, 3}, 3},
 		{[]uint64{1, 2}, 16},
@@ -377,8 +378,15 @@ func TestPayloadBytes(t *testing.T) {
 		{3.14, 8},
 		{int(7), 8},
 		{true, 1},
+		{[2]int{1, 2}, 16},
+		{[]any{3.14, "ab", []byte{1, 2, 3}}, 13},
 		{sizedPayload{}, 99},
-		{struct{}{}, 8},
+	}
+	if !strictPayloadSizes {
+		// Unknown types fall back to 8 bytes with a log-once diagnostic;
+		// under -tags mpistrict the same call panics instead, so the case
+		// only runs in regular builds.
+		cases = append(cases, payloadCase{struct{}{}, 8})
 	}
 	for _, c := range cases {
 		if got := payloadBytes(c.p); got != c.want {

@@ -1,0 +1,8 @@
+//go:build !mpistrict
+
+package mpi
+
+// strictPayloadSizes is false in regular builds: payload types without a
+// modelled wire size are logged once and counted as 8 bytes. Build with
+// -tags mpistrict (the `make strict` target) to turn the gap into a panic.
+const strictPayloadSizes = false

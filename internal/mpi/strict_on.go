@@ -1,0 +1,8 @@
+//go:build mpistrict
+
+package mpi
+
+// strictPayloadSizes is true under the mpistrict build tag: sending a
+// payload type without a modelled wire size panics, so the communication
+// counters the perf model depends on cannot silently drift.
+const strictPayloadSizes = true

@@ -21,9 +21,12 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/game"
+	"repro/internal/mpi"
 	"repro/internal/strategy"
+	"repro/internal/trace"
 )
 
 // StrategyKind selects the strategy representation evolved by the run.
@@ -111,6 +114,30 @@ type Config struct {
 	// deterministic games; for mixed strategies the resumed run resamples
 	// cached match-ups once at the resume point).
 	StartGeneration int
+	// CheckpointEvery makes the Nature Agent persist a snapshot to
+	// CheckpointSink every k completed generations (0 disables). The
+	// snapshot captures strategies and cumulative counters — everything a
+	// resume needs, since per-generation randomness re-derives from (Seed,
+	// generation).
+	CheckpointEvery int
+	// CheckpointSink receives periodic snapshots; required when
+	// CheckpointEvery > 0.
+	CheckpointSink CheckpointSink
+	// BaseCounters seeds the run's counters, so a run resumed from a
+	// snapshot reports cumulative totals identical to an uninterrupted one.
+	BaseCounters Counters
+	// RecvTimeout, when positive, bounds every blocking receive in the
+	// parallel engine (including collective-internal ones): a rank stalled
+	// past the deadline fails with mpi.ErrRecvTimeout instead of hanging —
+	// the detection half of worker-failure recovery. It must comfortably
+	// exceed the longest per-generation compute phase.
+	RecvTimeout time.Duration
+	// FaultPlan, when non-nil, is installed into the parallel engine's
+	// world: scripted deterministic fault injection for resilience tests.
+	FaultPlan *mpi.FaultPlan
+	// EventLog, when non-nil, receives fault-tolerance events (checkpoints
+	// written, recoveries performed) from the engine and supervisor.
+	EventLog *trace.EventLog
 }
 
 // Observer receives per-generation callbacks from the Nature Agent.
@@ -202,6 +229,15 @@ func (c *Config) Validate() error {
 	}
 	if c.StartGeneration < 0 {
 		return fmt.Errorf("sim: negative start generation %d", c.StartGeneration)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("sim: negative checkpoint interval %d", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.CheckpointSink == nil {
+		return fmt.Errorf("sim: CheckpointEvery %d set without a CheckpointSink", c.CheckpointEvery)
+	}
+	if c.RecvTimeout < 0 {
+		return fmt.Errorf("sim: negative receive timeout %v", c.RecvTimeout)
 	}
 	if c.ExactPayoffs && c.UseSearchEngine {
 		return fmt.Errorf("sim: ExactPayoffs and UseSearchEngine are mutually exclusive")

@@ -9,6 +9,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/strategy"
+	"repro/internal/trace"
 )
 
 // Point-to-point tags used by the parallel engine.
@@ -140,6 +141,12 @@ func RunParallel(cfg Config, ranks int) (*Result, error) {
 	}
 
 	world := mpi.NewWorld(ranks)
+	if cfg.FaultPlan != nil {
+		world.InstallFaultPlan(cfg.FaultPlan)
+	}
+	if cfg.RecvTimeout > 0 {
+		world.SetRecvTimeout(cfg.RecvTimeout)
+	}
 	var result *Result
 	start := time.Now()
 	err := world.Run(func(c *mpi.Comm) error {
@@ -169,7 +176,7 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 	pop := NewPopulation(cfg, master) // global strategy view (payoffs unused here)
 	nWorkers := c.Size() - 1
 	s := cfg.NumSSets
-	res := &Result{}
+	res := &Result{Counters: cfg.BaseCounters}
 	res.MeanFitness, _ = stats.NewSeries(cfg.SampleStride)
 	res.Cooperation, _ = stats.NewSeries(cfg.SampleStride)
 
@@ -191,6 +198,24 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 	}
 
 	for gen := cfg.StartGeneration; gen < cfg.StartGeneration+cfg.Generations; gen++ {
+		// Count the games the workers are scheduling this generation before
+		// the dirty marks are cleared: the workers' refresh predicate plays
+		// pair (i, j) iff FullRecompute or either side is dirty, so the
+		// scheduled total is all pairs minus the clean×clean ones. Keeping
+		// this tally on Nature lets snapshots carry an up-to-date
+		// GamesPlayed without an every-generation reduction.
+		if cfg.FullRecompute {
+			res.Counters.GamesPlayed += uint64(s) * uint64(s-1)
+		} else {
+			dcount := 0
+			for _, isDirty := range pop.dirty {
+				if isDirty {
+					dcount++
+				}
+			}
+			clean := s - dcount
+			res.Counters.GamesPlayed += uint64(s*(s-1) - clean*(clean-1))
+		}
 		pop.clearDirty()
 		d := natureDecision(&cfg, master, gen)
 		ev := Events{
@@ -256,6 +281,16 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		if cfg.Observer != nil {
 			cfg.Observer.Generation(gen, pop, ev)
 		}
+		// Checkpoint on absolute generation numbers, so a resumed run keeps
+		// the original cadence instead of one phase-shifted by the restart.
+		if cfg.CheckpointEvery > 0 && (gen+1)%cfg.CheckpointEvery == 0 {
+			if err := saveSnapshot(&cfg, pop, gen+1, res.Counters); err != nil {
+				return nil, err
+			}
+			if cfg.EventLog != nil {
+				cfg.EventLog.Append(trace.Event{Kind: trace.EventCheckpoint, Generation: gen + 1, Rank: 0})
+			}
+		}
 	}
 
 	// Collect the final payoff blocks and compute all fitness values in
@@ -277,11 +312,17 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		}
 		res.FinalFitness[i] = total / float64(s-1)
 	}
+	// The workers' reduced game count cross-checks Nature's scheduled tally:
+	// both sides evaluate the same refresh predicate, so any divergence
+	// means the global views drifted apart.
 	games, err := c.Reduce(0, 0, mpi.OpSum)
 	if err != nil {
 		return nil, err
 	}
-	res.Counters.GamesPlayed = uint64(games)
+	if played := cfg.BaseCounters.GamesPlayed + uint64(games); played != res.Counters.GamesPlayed {
+		return nil, fmt.Errorf("sim: workers played %d games, Nature scheduled %d — global views diverged",
+			played, res.Counters.GamesPlayed)
+	}
 	res.Final = pop.Snapshot()
 	return res, nil
 }

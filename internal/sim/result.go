@@ -32,6 +32,9 @@ type Result struct {
 	Elapsed time.Duration
 	// Ranks is the number of ranks the run used (1 for sequential).
 	Ranks int
+	// Restarts is how many times the recovery supervisor restarted the run
+	// (0 for a direct or fault-free run).
+	Restarts int
 }
 
 // FinalAbundance tallies the final population's strategy abundance.

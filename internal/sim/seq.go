@@ -6,6 +6,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // RunSequential executes the full simulation on one thread. It is the
@@ -22,7 +23,7 @@ func RunSequential(cfg Config) (*Result, error) {
 	if cfg.UseSearchEngine {
 		eng = game.NewSearchEngine(pop.Space())
 	}
-	res := &Result{Ranks: 1}
+	res := &Result{Ranks: 1, Counters: cfg.BaseCounters}
 	res.MeanFitness, _ = stats.NewSeries(cfg.SampleStride)
 	res.Cooperation, _ = stats.NewSeries(cfg.SampleStride)
 
@@ -38,6 +39,16 @@ func RunSequential(cfg Config) (*Result, error) {
 		res.Cooperation.Observe(gen, pop.MeanCooperationProb())
 		if cfg.Observer != nil {
 			cfg.Observer.Generation(gen, pop, ev)
+		}
+		// Same absolute-generation checkpoint cadence as the parallel
+		// engine, so sequential and parallel runs write identical snapshots.
+		if cfg.CheckpointEvery > 0 && (gen+1)%cfg.CheckpointEvery == 0 {
+			if err := saveSnapshot(&cfg, pop, gen+1, res.Counters); err != nil {
+				return nil, err
+			}
+			if cfg.EventLog != nil {
+				cfg.EventLog.Append(trace.Event{Kind: trace.EventCheckpoint, Generation: gen + 1, Rank: 0})
+			}
 		}
 	}
 

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/checkpoint"
+)
+
+// CheckpointSink receives the Nature Agent's periodic snapshots and serves
+// the latest one back to the recovery supervisor.
+type CheckpointSink interface {
+	// Save persists a snapshot; a later Save supersedes earlier ones.
+	Save(s *checkpoint.Snapshot) error
+	// Latest returns the most recent snapshot, or (nil, nil) when nothing
+	// has been saved yet.
+	Latest() (*checkpoint.Snapshot, error)
+}
+
+// MemorySink keeps the latest snapshot in memory, encoded through the
+// checkpoint codec so Save/Latest exercise exactly the bytes a file would
+// hold and the caller can never alias live population state. It is the
+// supervisor's default sink and safe for concurrent use.
+type MemorySink struct {
+	mu    sync.Mutex
+	data  []byte
+	saves int
+}
+
+// NewMemorySink creates an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Save implements CheckpointSink.
+func (m *MemorySink) Save(s *checkpoint.Snapshot) error {
+	var buf bytes.Buffer
+	if err := checkpoint.Write(&buf, s); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.data = buf.Bytes()
+	m.saves++
+	m.mu.Unlock()
+	return nil
+}
+
+// Latest implements CheckpointSink.
+func (m *MemorySink) Latest() (*checkpoint.Snapshot, error) {
+	m.mu.Lock()
+	data := m.data
+	m.mu.Unlock()
+	if data == nil {
+		return nil, nil
+	}
+	return checkpoint.Read(bytes.NewReader(data))
+}
+
+// Saves returns how many snapshots have been saved.
+func (m *MemorySink) Saves() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.saves
+}
+
+// FileSink persists the latest snapshot to a single file, atomically
+// (write to a temporary file in the same directory, then rename), so a
+// crash mid-write can never corrupt the previous good checkpoint.
+type FileSink struct {
+	Path string
+}
+
+// Save implements CheckpointSink.
+func (f *FileSink) Save(s *checkpoint.Snapshot) error {
+	dir := filepath.Dir(f.Path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(f.Path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint temp file: %w", err)
+	}
+	if err := checkpoint.Write(tmp, s); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), f.Path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// Latest implements CheckpointSink.
+func (f *FileSink) Latest() (*checkpoint.Snapshot, error) {
+	file, err := os.Open(f.Path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	return checkpoint.Read(file)
+}
+
+// saveSnapshot captures the population after gen completed generations,
+// with the run's cumulative counters, into the configured sink.
+func saveSnapshot(cfg *Config, pop *Population, gen int, ctr Counters) error {
+	snap := &checkpoint.Snapshot{
+		Generation: uint64(gen),
+		Seed:       cfg.Seed,
+		Memory:     cfg.Memory,
+		Strategies: pop.Snapshot(),
+		Counters:   countersToRun(ctr),
+	}
+	if err := cfg.CheckpointSink.Save(snap); err != nil {
+		return fmt.Errorf("sim: checkpoint at generation %d: %w", gen, err)
+	}
+	return nil
+}
+
+// countersToRun converts sim counters to their checkpoint form.
+func countersToRun(c Counters) *checkpoint.RunCounters {
+	return &checkpoint.RunCounters{
+		GamesPlayed: c.GamesPlayed,
+		PCEvents:    c.PCEvents,
+		Adoptions:   c.Adoptions,
+		Mutations:   c.Mutations,
+	}
+}
+
+// runToCounters converts checkpoint counters back; a nil input (a version-1
+// snapshot) yields zero counters.
+func runToCounters(rc *checkpoint.RunCounters) Counters {
+	if rc == nil {
+		return Counters{}
+	}
+	return Counters{
+		GamesPlayed: rc.GamesPlayed,
+		PCEvents:    rc.PCEvents,
+		Adoptions:   rc.Adoptions,
+		Mutations:   rc.Mutations,
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/strategy"
+)
+
+func sinkSnapshot(gen uint64) *checkpoint.Snapshot {
+	sp := strategy.NewSpace(1)
+	return &checkpoint.Snapshot{
+		Generation: gen, Seed: 42, Memory: 1,
+		Strategies: []strategy.Strategy{strategy.AllC(sp), strategy.AllD(sp)},
+		Counters:   &checkpoint.RunCounters{GamesPlayed: gen * 2},
+	}
+}
+
+func TestMemorySinkLatestWins(t *testing.T) {
+	sink := NewMemorySink()
+	if snap, err := sink.Latest(); err != nil || snap != nil {
+		t.Fatalf("empty sink Latest = %v, %v; want nil, nil", snap, err)
+	}
+	if err := sink.Save(sinkSnapshot(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Save(sinkSnapshot(20)); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Saves() != 2 {
+		t.Fatalf("saves = %d, want 2", sink.Saves())
+	}
+	snap, err := sink.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != 20 || snap.Counters == nil || snap.Counters.GamesPlayed != 40 {
+		t.Fatalf("latest snapshot: %+v", snap)
+	}
+}
+
+func TestMemorySinkDoesNotAliasLiveState(t *testing.T) {
+	// The sink round-trips through the codec, so mutating the saved
+	// snapshot's strategies afterwards must not affect what Latest returns.
+	sink := NewMemorySink()
+	s := sinkSnapshot(5)
+	if err := sink.Save(s); err != nil {
+		t.Fatal(err)
+	}
+	sp := strategy.NewSpace(1)
+	s.Strategies[0] = strategy.AllD(sp)
+	snap, err := sink.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Strategies[0].Equal(strategy.AllC(sp)) {
+		t.Fatal("sink aliased the caller's snapshot")
+	}
+}
+
+func TestFileSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	sink := &FileSink{Path: path}
+	if snap, err := sink.Latest(); err != nil || snap != nil {
+		t.Fatalf("missing file Latest = %v, %v; want nil, nil", snap, err)
+	}
+	if err := sink.Save(sinkSnapshot(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Save(sinkSnapshot(200)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sink.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != 200 {
+		t.Fatalf("latest generation = %d, want 200", snap.Generation)
+	}
+	// The atomic write must leave no temp files behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("checkpoint dir has %d entries, want 1", len(entries))
+	}
+}
