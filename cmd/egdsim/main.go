@@ -10,11 +10,14 @@
 //	egdsim -memory 6 -ssets 32 -gens 100 -ranks 8 -full
 //	egdsim -ssets 32 -gens 2000 -ranks 4 -checkpoint-every 100 \
 //	    -checkpoint-file run.ckpt -inject-fault rank=2,after=500
+//	egdsim -ssets 32 -gens 2000 -ranks 4 -evict -inject-fault rank=2,after=500
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -28,42 +31,52 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "egdsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("egdsim", flag.ContinueOnError)
 	var (
-		memory    = flag.Int("memory", 1, "strategy memory depth n in [1,6]")
-		ssets     = flag.Int("ssets", 64, "number of Strategy Sets")
-		gens      = flag.Int("gens", 1000, "generations to simulate")
-		rounds    = flag.Int("rounds", 200, "IPD rounds per match (paper: 200)")
-		errRate   = flag.Float64("error", 0, "per-move execution error probability")
-		pcRate    = flag.Float64("pcrate", sim.DefaultPCRate, "pairwise comparison rate (paper: 0.10)")
-		mu        = flag.Float64("mu", sim.DefaultMu, "mutation rate (paper: 0.05)")
-		beta      = flag.Float64("beta", sim.DefaultBeta, "Fermi selection intensity")
-		mixed     = flag.Bool("mixed", false, "evolve probabilistic (mixed) strategies")
-		seed      = flag.Uint64("seed", 1, "master random seed")
-		ranks     = flag.Int("ranks", 1, "1 = sequential; >= 2 = parallel engine (Nature + workers)")
-		full      = flag.Bool("full", false, "recompute all fitness every generation (paper timing mode)")
-		search    = flag.Bool("search", false, "use the paper-faithful linear find_state lookup")
-		fermi     = flag.Bool("fermi", false, "unconditional Fermi adoption (no teacher-better gate; Traulsen et al.)")
-		exact     = flag.Bool("exact", false, "exact infinite-game Markov payoffs instead of sampled matches")
-		csvPath   = flag.String("trace", "", "write per-generation CSV trace to this file")
-		ckpt      = flag.String("checkpoint", "", "write final population checkpoint to this file")
-		resume    = flag.String("resume", "", "resume from a checkpoint file (continues its trajectory)")
-		ckptEvery = flag.Int("checkpoint-every", 0, "write a recovery checkpoint every N generations")
-		ckptFile  = flag.String("checkpoint-file", "", "recovery checkpoint path for -checkpoint-every (default: the -checkpoint path)")
-		inject    = flag.String("inject-fault", "", "scripted fault specs, ';'-separated, e.g. 'rank=2,after=500' (see internal/mpi.ParseFault)")
-		restarts  = flag.Int("max-restarts", 3, "restart budget after rank failures (parallel engine; <= 0 disables recovery)")
-		degrade   = flag.Bool("degrade", false, "on worker failure, restart on one fewer rank")
-		deadline  = flag.Duration("worker-timeout", 0, "receive deadline that turns a stalled rank into a detectable failure (parallel engine)")
-		mapRows   = flag.Int("map", 0, "print an ASCII strategy map of up to this many SSets")
-		top       = flag.Int("top", 5, "report the top-k most abundant final strategies")
+		memory    = fs.Int("memory", 1, "strategy memory depth n in [1,6]")
+		ssets     = fs.Int("ssets", 64, "number of Strategy Sets")
+		gens      = fs.Int("gens", 1000, "generations to simulate")
+		rounds    = fs.Int("rounds", 200, "IPD rounds per match (paper: 200)")
+		errRate   = fs.Float64("error", 0, "per-move execution error probability")
+		pcRate    = fs.Float64("pcrate", sim.DefaultPCRate, "pairwise comparison rate (paper: 0.10)")
+		mu        = fs.Float64("mu", sim.DefaultMu, "mutation rate (paper: 0.05)")
+		beta      = fs.Float64("beta", sim.DefaultBeta, "Fermi selection intensity")
+		mixed     = fs.Bool("mixed", false, "evolve probabilistic (mixed) strategies")
+		seed      = fs.Uint64("seed", 1, "master random seed")
+		ranks     = fs.Int("ranks", 1, "1 = sequential; >= 2 = parallel engine (Nature + workers)")
+		full      = fs.Bool("full", false, "recompute all fitness every generation (paper timing mode)")
+		search    = fs.Bool("search", false, "use the paper-faithful linear find_state lookup")
+		fermi     = fs.Bool("fermi", false, "unconditional Fermi adoption (no teacher-better gate; Traulsen et al.)")
+		exact     = fs.Bool("exact", false, "exact infinite-game Markov payoffs instead of sampled matches")
+		csvPath   = fs.String("trace", "", "write per-generation CSV trace to this file")
+		ckpt      = fs.String("checkpoint", "", "write final population checkpoint to this file")
+		resume    = fs.String("resume", "", "resume from a checkpoint file (continues its trajectory)")
+		ckptEvery = fs.Int("checkpoint-every", 0, "write a recovery checkpoint every N generations")
+		ckptFile  = fs.String("checkpoint-file", "", "recovery checkpoint path for -checkpoint-every (default: the -checkpoint path)")
+		inject    = fs.String("inject-fault", "", "scripted fault specs, ';'-separated, e.g. 'rank=2,after=500' (see internal/mpi.ParseFault)")
+		restarts  = fs.Int("max-restarts", 3, "restart budget after rank failures (parallel engine; <= 0 disables recovery)")
+		degrade   = fs.Bool("degrade", false, "on worker failure, restart on one fewer rank")
+		deadline  = fs.Duration("worker-timeout", 0, "receive deadline that turns a stalled rank into a detectable failure (parallel engine)")
+		evict     = fs.Bool("evict", false, "recover from worker failures live: heartbeat detection, communicator shrink, in-flight re-shard (parallel engine)")
+		hbEvery   = fs.Duration("heartbeat-every", 0, "liveness tick interval for -evict (0 = engine default)")
+		hbMisses  = fs.Int("heartbeat-misses", 0, "consecutive missed ticks before -evict declares a rank dead (0 = engine default)")
+		minRanks  = fs.Int("min-ranks", 0, "smallest world -evict may shrink to before falling back to restart (0 = engine floor of 2)")
+		mapRows   = fs.Int("map", 0, "print an ASCII strategy map of up to this many SSets")
+		top       = fs.Int("top", 5, "report the top-k most abundant final strategies")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := sim.DefaultConfig(*memory, *ssets)
 	cfg.Generations = *gens
@@ -107,10 +120,10 @@ func run() error {
 				Mutations:   snap.Counters.Mutations,
 			}
 		}
-		fmt.Printf("resuming from %s at generation %d (seed %d)\n", *resume, snap.Generation, snap.Seed)
+		fmt.Fprintf(out, "resuming from %s at generation %d (seed %d)\n", *resume, snap.Generation, snap.Seed)
 	}
-	if *ranks < 2 && (*inject != "" || *degrade || *deadline > 0) {
-		return fmt.Errorf("-inject-fault, -degrade and -worker-timeout need the parallel engine (-ranks >= 2)")
+	if *ranks < 2 && (*inject != "" || *degrade || *deadline > 0 || *evict) {
+		return fmt.Errorf("-inject-fault, -degrade, -worker-timeout and -evict need the parallel engine (-ranks >= 2)")
 	}
 	if *ckptEvery > 0 {
 		path := *ckptFile
@@ -139,6 +152,10 @@ func run() error {
 		cfg.FaultPlan = plan
 	}
 	cfg.RecvTimeout = *deadline
+	cfg.Evict = *evict
+	cfg.HeartbeatEvery = *hbEvery
+	cfg.HeartbeatMisses = *hbMisses
+	cfg.MinRanks = *minRanks
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -172,7 +189,7 @@ func run() error {
 		}
 	}
 
-	resilient := cfg.FaultPlan != nil || cfg.CheckpointEvery > 0 || *degrade || cfg.RecvTimeout > 0
+	resilient := cfg.FaultPlan != nil || cfg.CheckpointEvery > 0 || *degrade || cfg.RecvTimeout > 0 || cfg.Evict
 	if cfg.CheckpointEvery > 0 || (resilient && *ranks >= 2) {
 		cfg.EventLog = trace.NewEventLog()
 	}
@@ -201,41 +218,41 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("run: memory-%d, %d SSets, %d generations, %d ranks, %.2fs\n",
+	fmt.Fprintf(out, "run: memory-%d, %d SSets, %d generations, %d ranks, %.2fs\n",
 		*memory, *ssets, *gens, res.Ranks, res.Elapsed.Seconds())
-	fmt.Printf("population: %d agents (agents/SSet = #SSets), %d games/generation when fully replayed\n",
+	fmt.Fprintf(out, "population: %d agents (agents/SSet = #SSets), %d games/generation when fully replayed\n",
 		cfg.PopulationSize(), cfg.GamesPerGeneration())
-	fmt.Printf("work: %d games, %d PC events, %d adoptions, %d mutations\n",
+	fmt.Fprintf(out, "work: %d games, %d PC events, %d adoptions, %d mutations\n",
 		res.Counters.GamesPlayed, res.Counters.PCEvents, res.Counters.Adoptions, res.Counters.Mutations)
 	if cfg.EventLog != nil {
-		fmt.Printf("fault tolerance: %d checkpoints, %d faults, %d recoveries, %d degradations, %d restarts\n",
+		fmt.Fprintf(out, "fault tolerance: %d checkpoints, %d faults, %d recoveries, %d degradations, %d restarts, %d evictions\n",
 			cfg.EventLog.Count(trace.EventCheckpoint), cfg.EventLog.Count(trace.EventFault),
 			cfg.EventLog.Count(trace.EventRecovery), cfg.EventLog.Count(trace.EventDegrade),
-			res.Restarts)
+			res.Restarts, res.Evictions)
 		for _, e := range cfg.EventLog.Events() {
 			if e.Kind == trace.EventCheckpoint {
 				continue // one per cadence tick; the count above suffices
 			}
 			detail := strings.ReplaceAll(e.Detail, "\n", "; ") // errors.Join is multi-line
-			fmt.Printf("  %s: rank %d, attempt %d  %s\n", e.Kind, e.Rank, e.Attempt, detail)
+			fmt.Fprintf(out, "  %s: rank %d, attempt %d  %s\n", e.Kind, e.Rank, e.Attempt, detail)
 		}
 	}
 	if g, v, ok := res.MeanFitness.Last(); ok {
-		fmt.Printf("final mean fitness (gen %d): %.4f  [1=all-defect .. 3=full cooperation]\n", g, v)
+		fmt.Fprintf(out, "final mean fitness (gen %d): %.4f  [1=all-defect .. 3=full cooperation]\n", g, v)
 	}
 	if g, v, ok := res.Cooperation.Last(); ok {
-		fmt.Printf("final cooperation probability (gen %d): %.4f\n", g, v)
+		fmt.Fprintf(out, "final cooperation probability (gen %d): %.4f\n", g, v)
 	}
 	sp := strategy.NewSpace(*memory)
-	fmt.Printf("WSLS fraction: %.3f\n", res.FractionNear(strategy.WSLS(sp)))
-	fmt.Printf("distinct strategies: %d of %d SSets\n", res.FinalAbundance().Distinct(), *ssets)
-	fmt.Println("most abundant strategies:")
+	fmt.Fprintf(out, "WSLS fraction: %.3f\n", res.FractionNear(strategy.WSLS(sp)))
+	fmt.Fprintf(out, "distinct strategies: %d of %d SSets\n", res.FinalAbundance().Distinct(), *ssets)
+	fmt.Fprintln(out, "most abundant strategies:")
 	for _, line := range core.SortedAbundanceNames(res, *top) {
-		fmt.Println("  ", line)
+		fmt.Fprintln(out, "  ", line)
 	}
 	if *mapRows > 0 {
-		fmt.Println("strategy map (rows = SSets, cols = states; '.'=C '#'=D):")
-		fmt.Print(core.AsciiMap(res.Final, *mapRows))
+		fmt.Fprintln(out, "strategy map (rows = SSets, cols = states; '.'=C '#'=D):")
+		fmt.Fprint(out, core.AsciiMap(res.Final, *mapRows))
 	}
 
 	if rec != nil {
@@ -247,13 +264,13 @@ func run() error {
 		if err := rec.WriteCSV(f); err != nil {
 			return err
 		}
-		fmt.Printf("trace: %d records -> %s\n", rec.Len(), *csvPath)
+		fmt.Fprintf(out, "trace: %d records -> %s\n", rec.Len(), *csvPath)
 	}
 	if *ckpt != "" {
 		if err := writeCheckpoint(*ckpt, uint64(cfg.StartGeneration+*gens), cfg.Seed, *memory, res); err != nil {
 			return err
 		}
-		fmt.Printf("checkpoint -> %s\n", *ckpt)
+		fmt.Fprintf(out, "checkpoint -> %s\n", *ckpt)
 	}
 	return nil
 }

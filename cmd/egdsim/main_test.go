@@ -1,0 +1,73 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end smoke test of the fault-tolerance surface with live eviction:
+// a scripted worker kill under -evict must complete without a restart and
+// report exactly one eviction in the fault-tolerance summary.
+func TestRunEvictionSmoke(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	var out strings.Builder
+	err := run([]string{
+		"-memory", "1", "-ssets", "8", "-gens", "400", "-rounds", "20",
+		"-ranks", "4", "-full", "-seed", "42",
+		"-checkpoint-every", "100", "-checkpoint-file", ckpt,
+		"-inject-fault", "rank=2,after=100",
+		"-evict", "-heartbeat-every", "20ms", "-heartbeat-misses", "5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fault tolerance:",
+		"0 restarts",
+		"1 evictions",
+		"eviction: rank 2",
+		"3 ranks", // 4 launched, one evicted live
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// The same scripted kill without -evict takes the PR 1 path: one
+// checkpoint restart, no evictions.
+func TestRunRestartSmoke(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	var out strings.Builder
+	err := run([]string{
+		"-memory", "1", "-ssets", "8", "-gens", "400", "-rounds", "20",
+		"-ranks", "4", "-full", "-seed", "42",
+		"-checkpoint-every", "100", "-checkpoint-file", ckpt,
+		"-inject-fault", "rank=2,after=100",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fault tolerance:",
+		"1 restarts",
+		"0 evictions",
+		"fault: rank 2",
+		"recovery:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunEvictNeedsParallelEngine(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-gens", "10", "-evict"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-ranks >= 2") {
+		t.Fatalf("sequential -evict accepted: %v", err)
+	}
+}

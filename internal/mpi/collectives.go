@@ -20,10 +20,12 @@ const (
 // the fault plan: a scripted FailCollective fault makes the rank fail here
 // with ErrInjectedFault, modelling a node dying inside a collective.
 func (c *Comm) enterCollective() error {
-	c.world.collOps.Add(1)
-	n := c.world.collCounts[c.rank].Add(1)
-	if p := c.world.plan; p != nil && p.onCollective(c.rank, n) {
-		return fmt.Errorf("mpi: rank %d failed at collective %d: %w", c.rank, n, ErrInjectedFault)
+	root := c.world.rootW()
+	orig := c.world.origOf(c.rank)
+	root.collOps.Add(1)
+	n := root.collCounts[orig].Add(1)
+	if p := root.plan; p != nil && p.onCollective(orig, n) {
+		return fmt.Errorf("mpi: rank %d failed at collective %d: %w", orig, n, ErrInjectedFault)
 	}
 	return nil
 }

@@ -281,8 +281,9 @@ func (w *World) InstallFaultPlan(p *FaultPlan) { w.plan = p }
 func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
 
 // RankSends returns how many sends rank has attempted (including
-// collective-internal packets) — the counter fault plans key off.
-func (w *World) RankSends(rank int) uint64 { return w.sendCounts[rank].Load() }
+// collective-internal packets) — the counter fault plans key off. Rank is an
+// original (root-world) rank; the counter persists across Shrink.
+func (w *World) RankSends(rank int) uint64 { return w.rootW().sendCounts[rank].Load() }
 
 // RankCollectives returns how many collective operations rank has entered.
-func (w *World) RankCollectives(rank int) uint64 { return w.collCounts[rank].Load() }
+func (w *World) RankCollectives(rank int) uint64 { return w.rootW().collCounts[rank].Load() }

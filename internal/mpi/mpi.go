@@ -141,7 +141,10 @@ type Stats struct {
 }
 
 // World is a set of ranks that can communicate. Create with NewWorld, run an
-// SPMD function on every rank with Run.
+// SPMD function on every rank with Run. Shrink derives sub-worlds from a
+// survivor set after a failure; sub-worlds share the original (root) world's
+// counters, fault plan, and failure bookkeeping, all indexed by original
+// rank, so scripted faults and statistics stay meaningful across a shrink.
 type World struct {
 	size    int
 	boxes   []*inbox
@@ -154,12 +157,49 @@ type World struct {
 	cause atomic.Value
 	// sendCounts / collCounts are the per-rank operation counters fault
 	// plans key off; deterministic for a deterministic SPMD program.
+	// Indexed by original rank; sub-worlds route here, so "rank 2's 500th
+	// send" keeps meaning the same event before and after a shrink.
 	sendCounts []atomic.Uint64
 	collCounts []atomic.Uint64
 	// plan, when non-nil, scripts deterministic fault injection.
 	plan *FaultPlan
 	// recvTimeout, when non-zero, bounds every blocking receive.
 	recvTimeout time.Duration
+
+	// root is the original world this sub-world was shrunk from (nil on the
+	// root itself); orig maps this world's dense ranks to original ranks
+	// (nil on the root: the identity).
+	root *World
+	orig []int
+	// revoked marks a world unusable after a member rank was declared
+	// failed (ULFM's revocation): every pending and future operation on it
+	// fails with an error matching ErrRevoked and carrying the
+	// *RankFailedError cause.
+	revoked     atomic.Bool
+	revokeCause atomic.Value
+
+	// wmu guards the registry of this root world and all its sub-worlds
+	// (abort, shutdown, and revocation fan out over it).
+	wmu    sync.Mutex
+	worlds []*World
+	subs   map[string]*World
+
+	// Eviction-mode state; see evict.go. Zero unless EnableEviction.
+	evict       bool
+	hbEvery     time.Duration
+	hbMisses    int
+	hbStart     time.Time
+	emu         sync.Mutex
+	econd       *sync.Cond
+	lastBeat    []atomic.Int64
+	done        []bool
+	finishedOK  []bool
+	exitErr     []error
+	exited      []chan struct{}
+	failedP     []atomic.Pointer[RankFailedError]
+	evictions   []Eviction
+	agreeSeq    []int
+	agreeRounds map[int]*agreeRound
 }
 
 // NewWorld creates a world with the given number of ranks. It panics if
@@ -173,22 +213,65 @@ func NewWorld(size int) *World {
 		boxes:      make([]*inbox, size),
 		sendCounts: make([]atomic.Uint64, size),
 		collCounts: make([]atomic.Uint64, size),
+		subs:       make(map[string]*World),
 	}
+	w.worlds = []*World{w}
 	for i := range w.boxes {
 		w.boxes[i] = newInbox()
 	}
 	return w
 }
 
+// rootW returns the original world this one descends from (itself when it is
+// the root).
+func (w *World) rootW() *World {
+	if w.root != nil {
+		return w.root
+	}
+	return w
+}
+
+// origOf maps one of this world's dense ranks to its original rank.
+func (w *World) origOf(rank int) int {
+	if w.orig == nil {
+		return rank
+	}
+	return w.orig[rank]
+}
+
+// contains reports whether the original rank is a member of this world.
+func (w *World) contains(orig int) bool {
+	if w.orig == nil {
+		return orig >= 0 && orig < w.size
+	}
+	for _, r := range w.orig {
+		if r == orig {
+			return true
+		}
+	}
+	return false
+}
+
+// allWorlds snapshots the root's registry: the root world plus every
+// sub-world Shrink has created.
+func (w *World) allWorlds() []*World {
+	r := w.rootW()
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	return append([]*World(nil), r.worlds...)
+}
+
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
-// Stats returns the accumulated communication counters.
+// Stats returns the accumulated communication counters. Sub-worlds report
+// the root's totals: traffic is accounted for the whole logical run.
 func (w *World) Stats() Stats {
+	r := w.rootW()
 	return Stats{
-		PointToPointMessages: w.p2pMsgs.Load(),
-		PointToPointBytes:    w.p2pByte.Load(),
-		CollectiveOps:        w.collOps.Load(),
+		PointToPointMessages: r.p2pMsgs.Load(),
+		PointToPointBytes:    r.p2pByte.Load(),
+		CollectiveOps:        r.collOps.Load(),
 	}
 }
 
@@ -203,44 +286,73 @@ func (w *World) Stats() Stats {
 // cascade errors. After all ranks return, receives still pending (leaked
 // Irecvs) are released with ErrShutdown.
 func (w *World) Run(body func(c *Comm) error) error {
+	if w.root != nil {
+		panic("mpi: Run on a shrunk sub-world; run the root world")
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, w.size)
+	stopHB := w.startHeartbeat()
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					rf := &RankFailedError{Rank: rank, Err: fmt.Errorf("panic: %v", p)}
-					errs[rank] = rf
-					w.abortWith(rf)
-				}
-			}()
-			if err := body(&Comm{world: w, rank: rank}); err != nil {
-				if errors.Is(err, ErrAborted) {
-					// Cascade: this rank is unwinding because another died.
-					errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
-					w.abortWith(&RankFailedError{Rank: rank, Err: err})
-				} else {
-					rf := &RankFailedError{Rank: rank, Err: err}
-					errs[rank] = rf
-					w.abortWith(rf)
-				}
+			err := runBody(body, &Comm{world: w, rank: rank})
+			if w.evict {
+				// Eviction mode: a rank's death does not abort the world.
+				// Record the exit; the heartbeat monitor (or an explicit
+				// markFailed) declares failure, survivors Agree+Shrink.
+				errs[rank] = err
+				w.rankExited(rank, err)
+				return
+			}
+			if err == nil {
+				return
+			}
+			if errors.Is(err, ErrAborted) {
+				// Cascade: this rank is unwinding because another died.
+				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+				w.abortWith(&RankFailedError{Rank: rank, Err: err})
+			} else {
+				rf := &RankFailedError{Rank: rank, Err: err}
+				errs[rank] = rf
+				w.abortWith(rf)
 			}
 		}(r)
 	}
 	wg.Wait()
+	if stopHB != nil {
+		stopHB()
+	}
 	w.shutdown()
+	if w.evict {
+		return w.resolveEvicted(errs)
+	}
 	return errors.Join(errs...)
 }
 
+// runBody invokes the rank body, converting a panic into an error so
+// eviction-mode accounting sees a uniform failure shape.
+func runBody(body func(c *Comm) error, c *Comm) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return body(c)
+}
+
 // abortWith marks the world failed; the first cause wins and is what every
-// blocked receive returns.
+// blocked receive returns. The cause is published before the aborted flag so
+// a sender observing aborted==true always finds the root-cause
+// *RankFailedError, never the bare ErrAborted sentinel.
 func (w *World) abortWith(cause *RankFailedError) {
+	w.cause.CompareAndSwap(nil, cause)
 	if w.aborted.CompareAndSwap(false, true) {
-		w.cause.Store(cause)
-		for _, ib := range w.boxes {
-			ib.finish(cause)
+		c := w.abortCause()
+		for _, sub := range w.allWorlds() {
+			for _, ib := range sub.boxes {
+				ib.finish(c)
+			}
 		}
 	}
 }
@@ -248,18 +360,21 @@ func (w *World) abortWith(cause *RankFailedError) {
 // abortCause returns the recorded failure, or ErrAborted during the brief
 // window before the CAS winner stores it.
 func (w *World) abortCause() error {
-	if c, ok := w.cause.Load().(error); ok {
+	if c, ok := w.rootW().cause.Load().(error); ok {
 		return c
 	}
 	return ErrAborted
 }
 
-// shutdown releases receives still pending after every rank has returned:
-// no matching send can ever arrive, so letting them block would leak their
-// goroutines for the process lifetime.
+// shutdown releases receives still pending after every rank has returned —
+// on the root and on every sub-world Shrink created: no matching send can
+// ever arrive, so letting them block would leak their goroutines for the
+// process lifetime.
 func (w *World) shutdown() {
-	for _, ib := range w.boxes {
-		ib.finish(ErrShutdown)
+	for _, sub := range w.allWorlds() {
+		for _, ib := range sub.boxes {
+			ib.finish(ErrShutdown)
+		}
 	}
 }
 
@@ -290,35 +405,53 @@ func (c *Comm) checkUserTag(tag int) error {
 }
 
 // send delivers without tag validation (collectives use internal tags).
+// Operation counters, the fault plan, and traffic totals live on the root
+// world and are indexed by original rank, so a scripted "rank 2, send 500"
+// stays the same event after a Shrink renumbers the survivors.
 func (c *Comm) send(dst, tag int, payload any) error {
 	if err := c.checkRank(dst); err != nil {
 		return err
 	}
-	if c.world.aborted.Load() {
+	root := c.world.rootW()
+	src := c.world.origOf(c.rank)
+	if root.aborted.Load() {
 		return c.world.abortCause()
 	}
-	n := c.world.sendCounts[c.rank].Add(1)
-	if p := c.world.plan; p != nil {
-		v := p.onSend(c.rank, n)
+	// The fence outranks the revocation check so a send touching the dead
+	// rank reports the specific poisoned endpoint, not just the revocation.
+	if root.evict {
+		if err := root.sendFence(src, c.world.origOf(dst)); err != nil {
+			return err
+		}
+	}
+	if err := c.world.revokeErr(); err != nil {
+		return err
+	}
+	n := root.sendCounts[src].Add(1)
+	if p := root.plan; p != nil {
+		v := p.onSend(src, n)
 		if v.kill {
-			return fmt.Errorf("mpi: rank %d killed at send %d: %w", c.rank, n, ErrInjectedFault)
+			return fmt.Errorf("mpi: rank %d killed at send %d: %w", src, n, ErrInjectedFault)
 		}
 		if v.delay > 0 {
 			time.Sleep(v.delay)
-			if c.world.aborted.Load() {
+			if root.aborted.Load() {
 				return c.world.abortCause()
+			}
+			if err := c.world.revokeErr(); err != nil {
+				return err
 			}
 		}
 		if v.drop {
 			// The sender transmitted (counters reflect it); the network
 			// lost the packet.
-			c.world.p2pMsgs.Add(1)
-			c.world.p2pByte.Add(payloadBytes(payload))
+			root.p2pMsgs.Add(1)
+			root.p2pByte.Add(payloadBytes(payload))
 			return nil
 		}
 	}
-	c.world.p2pMsgs.Add(1)
-	c.world.p2pByte.Add(payloadBytes(payload))
+	root.p2pMsgs.Add(1)
+	root.p2pByte.Add(payloadBytes(payload))
 	c.world.boxes[dst].put(envelope{source: c.rank, tag: tag, payload: payload})
 	return nil
 }

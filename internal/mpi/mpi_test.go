@@ -341,6 +341,71 @@ func TestRankPanicAbortsWorld(t *testing.T) {
 	}
 }
 
+// Regression: a Request.Wait pending across a world abort must surface the
+// root-cause *RankFailedError — who died and why — not a generic
+// closed-inbox error. The supervisor's restart/degrade decision depends on
+// errors.As recovering the rank.
+func TestWaitAfterAbortReturnsRootCause(t *testing.T) {
+	w := NewWorld(3)
+	boom := errors.New("boom")
+	err := w.Run(func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			return boom
+		case 0:
+			// Irecv from rank 2, which never sends: only the abort can
+			// complete this request.
+			req := c.Irecv(2, 5)
+			_, werr := req.Wait()
+			var rf *RankFailedError
+			if !errors.As(werr, &rf) {
+				return fmt.Errorf("Wait returned %v, want a *RankFailedError", werr)
+			}
+			if rf.Rank != 1 || !errors.Is(rf.Err, boom) {
+				return fmt.Errorf("Wait blamed rank %d (%v), want rank 1 (boom)", rf.Rank, rf.Err)
+			}
+			if !errors.Is(werr, ErrAborted) {
+				return fmt.Errorf("Wait error does not match ErrAborted: %v", werr)
+			}
+			return nil
+		default:
+			return nil
+		}
+	})
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Fatalf("Run error = %v, want boom", err)
+	}
+}
+
+// Regression for the abort-publication race: a sender observing the aborted
+// flag must find the cause already stored — never the bare ErrAborted
+// sentinel — because abortWith publishes the cause before the flag.
+func TestSendAfterAbortReturnsRootCause(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		w := NewWorld(2)
+		boom := errors.New("boom")
+		err := w.Run(func(c *Comm) error {
+			if c.Rank() == 0 {
+				return boom
+			}
+			for {
+				err := c.Send(0, 3, 1.0)
+				if err == nil {
+					continue
+				}
+				var rf *RankFailedError
+				if !errors.As(err, &rf) || rf.Rank != 0 {
+					return fmt.Errorf("send after abort returned %v, want RankFailedError{Rank:0}", err)
+				}
+				return nil
+			}
+		})
+		if contains(err.Error(), "send after abort") {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestStatsCounters(t *testing.T) {
 	w := NewWorld(2)
 	err := w.Run(func(c *Comm) error {

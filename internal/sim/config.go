@@ -136,8 +136,27 @@ type Config struct {
 	// world: scripted deterministic fault injection for resilience tests.
 	FaultPlan *mpi.FaultPlan
 	// EventLog, when non-nil, receives fault-tolerance events (checkpoints
-	// written, recoveries performed) from the engine and supervisor.
+	// written, recoveries performed, ranks evicted) from the engine and
+	// supervisor.
 	EventLog *trace.EventLog
+	// Evict enables live rank eviction in the parallel engine: a heartbeat
+	// detector declares dead ranks, survivors agree on the surviving set and
+	// shrink onto a sub-communicator, the dead rank's SSets are re-sharded
+	// across the survivors, and the interrupted generation is replayed from
+	// its generation-keyed random streams — no restart, and (with
+	// FullRecompute) results bit-identical to a fault-free run. Replayed
+	// generations re-invoke the Observer, as checkpoint restarts do.
+	Evict bool
+	// HeartbeatEvery is the liveness tick period when Evict is set (0
+	// selects mpi.DefaultHeartbeatEvery).
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many consecutive missed heartbeat deadlines
+	// declare a rank dead (0 selects mpi.DefaultHeartbeatMisses).
+	HeartbeatMisses int
+	// MinRanks is the smallest world live eviction may shrink to; below it
+	// the engine falls back to checkpoint-restart (values < 2 mean 2, the
+	// engine's floor of Nature plus one worker).
+	MinRanks int
 }
 
 // Observer receives per-generation callbacks from the Nature Agent.
@@ -238,6 +257,15 @@ func (c *Config) Validate() error {
 	}
 	if c.RecvTimeout < 0 {
 		return fmt.Errorf("sim: negative receive timeout %v", c.RecvTimeout)
+	}
+	if c.HeartbeatEvery < 0 {
+		return fmt.Errorf("sim: negative heartbeat period %v", c.HeartbeatEvery)
+	}
+	if c.HeartbeatMisses < 0 {
+		return fmt.Errorf("sim: negative heartbeat miss budget %d", c.HeartbeatMisses)
+	}
+	if c.MinRanks < 0 {
+		return fmt.Errorf("sim: negative rank floor %d", c.MinRanks)
 	}
 	if c.ExactPayoffs && c.UseSearchEngine {
 		return fmt.Errorf("sim: ExactPayoffs and UseSearchEngine are mutually exclusive")

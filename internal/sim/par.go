@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -119,6 +120,52 @@ type selection struct {
 // WireBytes models the selection broadcast payload.
 func (selection) WireBytes() uint64 { return 3 * 8 }
 
+// resume is the Nature Agent's post-eviction broadcast on the shrunk
+// communicator: the authoritative state every survivor replaces its own
+// with. Workers may be behind (a dead mid-tree rank broke a broadcast relay)
+// or ahead (buffered packets outran the failure) of Nature's position; a
+// full-state resume makes the skew irrelevant.
+type resume struct {
+	// Gen is the generation the loop resumes at; Replay is the generation
+	// whose random streams the full payoff recompute draws from
+	// (min(Gen, last generation) — a finalization-phase resume replays the
+	// final generation's streams).
+	Gen, Replay int
+	// Strategies is the global strategy view at the top of generation Gen.
+	Strategies []strategy.Strategy
+}
+
+// WireBytes models the resume broadcast payload: two header words plus the
+// full strategy tables.
+func (r resume) WireBytes() uint64 {
+	n := uint64(2 * 8)
+	for _, s := range r.Strategies {
+		states := uint64(s.Space().NumStates())
+		if _, ok := s.(*strategy.Mixed); ok {
+			n += states * 8
+		} else {
+			n += states / 8
+		}
+	}
+	return n
+}
+
+// evictable reports whether an engine error is a rank failure that live
+// eviction can recover from: a revoked communicator or any error carrying a
+// *RankFailedError (poisoned sends, abort causes). The caller's own faults
+// (an injected kill firing on this rank, say) are not evictable.
+func evictable(err error) bool {
+	if errors.Is(err, mpi.ErrRevoked) {
+		return true
+	}
+	var rf *mpi.RankFailedError
+	return errors.As(err, &rf)
+}
+
+// minRanksFloor normalises Config.MinRanks against the engine's floor of
+// Nature plus one worker.
+func minRanksFloor(cfg *Config) int { return max(cfg.MinRanks, 2) }
+
 // RunParallel executes the simulation on a world of `ranks` goroutine
 // ranks: rank 0 is the Nature Agent, ranks 1..ranks-1 own block-distributed
 // game pairs — the paper's Blue Gene mapping, including the agents-within-
@@ -147,6 +194,9 @@ func RunParallel(cfg Config, ranks int) (*Result, error) {
 	if cfg.RecvTimeout > 0 {
 		world.SetRecvTimeout(cfg.RecvTimeout)
 	}
+	if cfg.Evict {
+		world.EnableEviction(cfg.HeartbeatEvery, cfg.HeartbeatMisses)
+	}
 	var result *Result
 	start := time.Now()
 	err := world.Run(func(c *mpi.Comm) error {
@@ -164,28 +214,82 @@ func RunParallel(cfg Config, ranks int) (*Result, error) {
 		return nil, err
 	}
 	result.Elapsed = time.Since(start)
-	result.Ranks = ranks
+	result.Evictions = len(world.Evictions())
+	result.Ranks = ranks - result.Evictions
 	return result, nil
+}
+
+// natureSnap is the Nature Agent's rollback point for live eviction:
+// everything needed to replay the generation a failure interrupted.
+// Strategy references can be shared because strategies are immutable —
+// Adopt and SetStrategy replace entries, never mutate them in place.
+type natureSnap struct {
+	gen             int
+	strategies      []strategy.Strategy
+	dirty           []bool
+	counters        Counters
+	fitLen, coopLen int
 }
 
 // natureRank is rank 0: the paper's Nature Agent. It keeps the global
 // strategy view, drives the evolutionary schedule, gathers selected
 // fitness values point-to-point, and broadcasts selections and updates.
+//
+// With cfg.Evict, a detected rank failure is recovered live at the current
+// generation boundary: Nature agrees with the survivors on the new rank
+// set, shrinks onto it, rolls its state back to the top of the interrupted
+// generation, and rebroadcasts that state so the survivors re-shard the
+// dead rank's game pairs and replay the generation from its
+// generation-keyed random streams — bit-identical to a fault-free run for
+// deterministic games.
 func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 	master := rng.New(cfg.Seed)
 	pop := NewPopulation(cfg, master) // global strategy view (payoffs unused here)
-	nWorkers := c.Size() - 1
 	s := cfg.NumSSets
+	end := cfg.StartGeneration + cfg.Generations
 	res := &Result{Counters: cfg.BaseCounters}
 	res.MeanFitness, _ = stats.NewSeries(cfg.SampleStride)
 	res.Cooperation, _ = stats.NewSeries(cfg.SampleStride)
 
+	gen := cfg.StartGeneration
+	// pendingFull marks that the workers' next refresh replays every owned
+	// pair (their payoff blocks were re-sharded by an eviction); crossCheck
+	// counts the games scheduled since the last world (re)synchronisation,
+	// mirroring the workers' local tallies, which reset on resume.
+	pendingFull := false
+	var crossCheck uint64
+	var snap natureSnap
+	seenEvictions := 0
+
+	logEvent := func(e trace.Event) {
+		if cfg.EventLog != nil {
+			cfg.EventLog.Append(e)
+		}
+	}
+	takeSnap := func() {
+		snap.gen = gen
+		snap.strategies = append(snap.strategies[:0], pop.strategies...)
+		snap.dirty = append(snap.dirty[:0], pop.dirty...)
+		snap.counters = res.Counters
+		snap.fitLen = res.MeanFitness.Len()
+		snap.coopLen = res.Cooperation.Len()
+	}
+	restore := func() {
+		gen = snap.gen
+		copy(pop.strategies, snap.strategies)
+		copy(pop.dirty, snap.dirty)
+		res.Counters = snap.counters
+		res.MeanFitness.Truncate(snap.fitLen)
+		res.Cooperation.Truncate(snap.coopLen)
+	}
+
 	// recvFitness reassembles SSet i's fitness from its row segments,
 	// folding payoffs in ascending column order so the floating-point sum
-	// matches the sequential engine bit for bit.
-	recvFitness := func(i int) (float64, error) {
+	// matches the sequential engine bit for bit — at any worker count,
+	// which is what makes post-eviction re-sharding trajectory-invariant.
+	recvFitness := func(c *mpi.Comm, i int) (float64, error) {
 		total := 0.0
-		for _, seg := range rowSegments(s, nWorkers, i) {
+		for _, seg := range rowSegments(s, c.Size()-1, i) {
 			msg, err := c.Recv(1+seg.worker, tagFitness)
 			if err != nil {
 				return 0, err
@@ -197,15 +301,17 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		return total / float64(s-1), nil
 	}
 
-	for gen := cfg.StartGeneration; gen < cfg.StartGeneration+cfg.Generations; gen++ {
+	oneGeneration := func(c *mpi.Comm) error {
 		// Count the games the workers are scheduling this generation before
 		// the dirty marks are cleared: the workers' refresh predicate plays
 		// pair (i, j) iff FullRecompute or either side is dirty, so the
 		// scheduled total is all pairs minus the clean×clean ones. Keeping
 		// this tally on Nature lets snapshots carry an up-to-date
-		// GamesPlayed without an every-generation reduction.
-		if cfg.FullRecompute {
-			res.Counters.GamesPlayed += uint64(s) * uint64(s-1)
+		// GamesPlayed without an every-generation reduction. A post-eviction
+		// replay recomputes every pair.
+		var scheduled uint64
+		if pendingFull || cfg.FullRecompute {
+			scheduled = uint64(s) * uint64(s-1)
 		} else {
 			dcount := 0
 			for _, isDirty := range pop.dirty {
@@ -214,8 +320,11 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 				}
 			}
 			clean := s - dcount
-			res.Counters.GamesPlayed += uint64(s*(s-1) - clean*(clean-1))
+			scheduled = uint64(s*(s-1) - clean*(clean-1))
 		}
+		pendingFull = false
+		res.Counters.GamesPlayed += scheduled
+		crossCheck += scheduled
 		pop.clearDirty()
 		d := natureDecision(&cfg, master, gen)
 		ev := Events{
@@ -229,7 +338,7 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		// Announce the PC selection to all ranks (collective network).
 		sel := selection{PC: d.pc, Teacher: d.teacher, Learner: d.learner}
 		if _, err := c.Bcast(0, sel); err != nil {
-			return nil, err
+			return err
 		}
 
 		var u update
@@ -238,13 +347,13 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 			// The owners return the selected SSets' payoff segments
 			// point-to-point (torus network in the paper); teacher first,
 			// then learner, in segment order.
-			piT, err := recvFitness(d.teacher)
+			piT, err := recvFitness(c, d.teacher)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			piL, err := recvFitness(d.learner)
+			piL, err := recvFitness(c, d.learner)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if resolveAdoption(&cfg, master, gen, piT, piL) {
 				pop.Adopt(d.learner, d.teacher)
@@ -266,14 +375,14 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 
 		// Broadcast the global strategy update (collective network).
 		if _, err := c.Bcast(0, u); err != nil {
-			return nil, err
+			return err
 		}
 
 		if u.MeanFitnessWanted {
 			// Join the workers' payoff reduction; Nature contributes 0.
 			total, err := c.Reduce(0, 0, mpi.OpSum)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			res.MeanFitness.Observe(gen, total/float64(s*(s-1)))
 			res.Cooperation.Observe(gen, pop.MeanCooperationProb())
@@ -285,43 +394,143 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		// the original cadence instead of one phase-shifted by the restart.
 		if cfg.CheckpointEvery > 0 && (gen+1)%cfg.CheckpointEvery == 0 {
 			if err := saveSnapshot(&cfg, pop, gen+1, res.Counters); err != nil {
-				return nil, err
+				return err
 			}
-			if cfg.EventLog != nil {
-				cfg.EventLog.Append(trace.Event{Kind: trace.EventCheckpoint, Generation: gen + 1, Rank: 0})
+			logEvent(trace.Event{Kind: trace.EventCheckpoint, Generation: gen + 1, Rank: 0})
+		}
+		return nil
+	}
+
+	finalize := func(c *mpi.Comm) error {
+		// A resume directly into finalization replays the last generation's
+		// games wholesale; account for them in the cross-check (the restored
+		// GamesPlayed already covers the run's schedule).
+		if pendingFull {
+			crossCheck += uint64(s) * uint64(s-1)
+			pendingFull = false
+		}
+		// Collect the final payoff blocks and compute all fitness values in
+		// the sequential engine's order.
+		nWorkers := c.Size() - 1
+		flat := make([]float64, s*(s-1))
+		for w := 0; w < nWorkers; w++ {
+			msg, err := c.Recv(1+w, tagRows)
+			if err != nil {
+				return err
 			}
+			lo, _ := blockRange(s*(s-1), nWorkers, w)
+			copy(flat[lo:], msg.Payload.([]float64))
+		}
+		fitness := make([]float64, s)
+		for i := 0; i < s; i++ {
+			total := 0.0
+			for k := i * (s - 1); k < (i+1)*(s-1); k++ {
+				total += flat[k]
+			}
+			fitness[i] = total / float64(s-1)
+		}
+		// The workers' reduced game count cross-checks Nature's scheduled
+		// tally: both sides evaluate the same refresh predicate over the
+		// same window, so any divergence means the global views drifted.
+		games, err := c.Reduce(0, 0, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if uint64(games) != crossCheck {
+			return fmt.Errorf("sim: workers played %d games since the last synchronisation, Nature scheduled %d — global views diverged",
+				uint64(games), crossCheck)
+		}
+		// In eviction mode a final barrier keeps workers resident until
+		// Nature has everything, so a late failure still finds every
+		// survivor able to agree. Gated on Evict: an unconditional barrier
+		// would shift the operation counters existing fault scripts key on.
+		if cfg.Evict {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		res.FinalFitness = fitness
+		return nil
+	}
+
+	// recoverLive runs the survivor-side eviction protocol: agree on the
+	// surviving set, shrink onto it, roll back to the snapshot, and
+	// rebroadcast the authoritative state. Each loop iteration is one
+	// agreement epoch; a failure landing mid-recovery starts another.
+	recoverLive := func(c *mpi.Comm, cause error) (*mpi.Comm, error) {
+		if !cfg.Evict {
+			return nil, cause
+		}
+		cur := cause
+		for {
+			if !evictable(cur) {
+				return nil, cause
+			}
+			surv, err := c.Agree()
+			if err != nil {
+				return nil, cause
+			}
+			evs := c.Evictions()
+			for _, e := range evs[seenEvictions:] {
+				logEvent(trace.Event{Kind: trace.EventEviction, Generation: snap.gen, Rank: e.Rank,
+					Detail: e.Err.Error()})
+			}
+			seenEvictions = len(evs)
+			if len(surv) < minRanksFloor(&cfg) {
+				logEvent(trace.Event{Kind: trace.EventEvictionFailed, Generation: snap.gen, Rank: -1,
+					Detail: fmt.Sprintf("%d survivors below floor %d; falling back to checkpoint restart",
+						len(surv), minRanksFloor(&cfg))})
+				return nil, cause
+			}
+			nc, err := c.Shrink(surv)
+			if err != nil {
+				cur = err
+				continue
+			}
+			restore()
+			pendingFull = true
+			crossCheck = 0
+			rs := resume{
+				Gen:        snap.gen,
+				Replay:     min(snap.gen, end-1),
+				Strategies: append([]strategy.Strategy(nil), snap.strategies...),
+			}
+			if _, err := nc.Bcast(0, rs); err != nil {
+				c, cur = nc, err
+				continue
+			}
+			return nc, nil
 		}
 	}
 
-	// Collect the final payoff blocks and compute all fitness values in
-	// the sequential engine's order.
-	flat := make([]float64, s*(s-1))
-	for w := 0; w < nWorkers; w++ {
-		msg, err := c.Recv(1+w, tagRows)
-		if err != nil {
-			return nil, err
+	for gen < end {
+		if cfg.Evict {
+			takeSnap()
 		}
-		lo, _ := blockRange(s*(s-1), nWorkers, w)
-		copy(flat[lo:], msg.Payload.([]float64))
-	}
-	res.FinalFitness = make([]float64, s)
-	for i := 0; i < s; i++ {
-		total := 0.0
-		for k := i * (s - 1); k < (i+1)*(s-1); k++ {
-			total += flat[k]
+		err := oneGeneration(c)
+		if err == nil {
+			gen++
+			continue
 		}
-		res.FinalFitness[i] = total / float64(s-1)
+		nc, rerr := recoverLive(c, err)
+		if rerr != nil {
+			return nil, rerr
+		}
+		c = nc
 	}
-	// The workers' reduced game count cross-checks Nature's scheduled tally:
-	// both sides evaluate the same refresh predicate, so any divergence
-	// means the global views drifted apart.
-	games, err := c.Reduce(0, 0, mpi.OpSum)
-	if err != nil {
-		return nil, err
+	if cfg.Evict {
+		takeSnap() // snap.gen == end: the finalization resume point
 	}
-	if played := cfg.BaseCounters.GamesPlayed + uint64(games); played != res.Counters.GamesPlayed {
-		return nil, fmt.Errorf("sim: workers played %d games, Nature scheduled %d — global views diverged",
-			played, res.Counters.GamesPlayed)
+	for {
+		err := finalize(c)
+		if err == nil {
+			break
+		}
+		nc, rerr := recoverLive(c, err)
+		if rerr != nil {
+			return nil, rerr
+		}
+		c = nc
 	}
 	res.Final = pop.Snapshot()
 	return res, nil
@@ -330,29 +539,52 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 // workerRank is ranks 1..P-1: it owns a contiguous block of game pairs,
 // keeps the same global strategy view as Nature, plays its matches locally,
 // and applies broadcast updates.
+//
+// With cfg.Evict, a rank failure drops the worker into the survivor-side
+// eviction protocol: agree, shrink, then adopt Nature's resume broadcast
+// wholesale — new dense rank, re-sharded pair block, authoritative strategy
+// view — and replay every owned pair from the interrupted generation's
+// random streams. If Nature itself is among the dead, live eviction cannot
+// continue (no one can re-drive the schedule) and the worker returns the
+// failure so the restart supervisor takes over.
 func workerRank(cfg Config, c *mpi.Comm) error {
 	master := rng.New(cfg.Seed)
 	pop := NewPopulation(cfg, master) // same deterministic initialisation
-	nWorkers := c.Size() - 1
-	w := c.Rank() - 1
 	s := cfg.NumSSets
-	lo, hi := blockRange(s*(s-1), nWorkers, w)
+	end := cfg.StartGeneration + cfg.Generations
 	var eng *game.SearchEngine
 	if cfg.UseSearchEngine {
 		eng = game.NewSearchEngine(pop.Space())
 	}
+
+	w := c.Rank() - 1
+	lo, hi := blockRange(s*(s-1), c.Size()-1, w)
 	// payoffs[k-lo] is pair k's mean per-round payoff for its row SSet.
 	payoffs := make([]float64, hi-lo)
 	games := uint64(0)
+	gen := cfg.StartGeneration
+	// pendingFull marks that an eviction re-sharded this worker's block:
+	// the next pass replays every owned pair from replayGen's streams.
+	pendingFull := false
+	replayGen := 0
 
 	// refresh replays the owned pairs whose participants changed.
-	refresh := func(gen int) {
+	refresh := func(g int) {
 		for k := lo; k < hi; k++ {
 			i, j := pairToIJ(s, k)
 			if cfg.FullRecompute || pop.dirty[i] || pop.dirty[j] {
-				payoffs[k-lo] = playPair(&cfg, master, eng, gen, i, j, pop.strategies[i], pop.strategies[j])
+				payoffs[k-lo] = playPair(&cfg, master, eng, g, i, j, pop.strategies[i], pop.strategies[j])
 				games++
 			}
+		}
+	}
+	// replayAll recomputes the whole owned block from generation g's
+	// streams, regardless of dirtiness — the post-eviction rebuild.
+	replayAll := func(g int) {
+		for k := lo; k < hi; k++ {
+			i, j := pairToIJ(s, k)
+			payoffs[k-lo] = playPair(&cfg, master, eng, g, i, j, pop.strategies[i], pop.strategies[j])
+			games++
 		}
 	}
 	// segment extracts the owned, contiguous payoff slice of SSet i's row
@@ -368,9 +600,14 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 		return out
 	}
 
-	for gen := cfg.StartGeneration; gen < cfg.StartGeneration+cfg.Generations; gen++ {
+	oneGeneration := func(c *mpi.Comm) error {
 		// Game dynamics: replay this worker's pairs.
-		refresh(gen)
+		if pendingFull {
+			replayAll(replayGen)
+			pendingFull = false
+		} else {
+			refresh(gen)
+		}
 		pop.clearDirty()
 
 		// Receive the PC selection.
@@ -416,14 +653,112 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 				return err
 			}
 		}
+		return nil
 	}
 
-	// Ship the final payoff block and the game counter to Nature.
-	final := make([]float64, len(payoffs))
-	copy(final, payoffs)
-	if err := c.Send(0, tagRows, final); err != nil {
-		return err
+	finalize := func(c *mpi.Comm) error {
+		// A resume directly into finalization still rebuilds the re-sharded
+		// block before shipping it.
+		if pendingFull {
+			replayAll(replayGen)
+			pendingFull = false
+		}
+		// Ship the final payoff block and the game counter to Nature.
+		final := make([]float64, len(payoffs))
+		copy(final, payoffs)
+		if err := c.Send(0, tagRows, final); err != nil {
+			return err
+		}
+		if _, err := c.Reduce(0, float64(games), mpi.OpSum); err != nil {
+			return err
+		}
+		// Mirror Nature's eviction-mode barrier: stay resident until every
+		// rank is done, so a late failure still finds a full survivor set.
+		if cfg.Evict {
+			return c.Barrier()
+		}
+		return nil
 	}
-	_, err := c.Reduce(0, float64(games), mpi.OpSum)
-	return err
+
+	// recoverLive is the worker side of the eviction protocol; it mirrors
+	// Nature's agreement epochs exactly — one Agree per entry, another per
+	// failed Shrink or resume broadcast — which is what keeps the rendezvous
+	// aligned across divergent failure interleavings.
+	recoverLive := func(c *mpi.Comm, cause error) (*mpi.Comm, error) {
+		if !cfg.Evict {
+			return nil, cause
+		}
+		cur := cause
+		for {
+			if !evictable(cur) {
+				return nil, cause
+			}
+			surv, err := c.Agree()
+			if err != nil {
+				return nil, cause
+			}
+			if len(surv) == 0 || surv[0] != 0 {
+				// Nature itself died: fall back to checkpoint restart. The
+				// lowest survivor records the decision once for the trace.
+				if len(surv) > 0 && c.OrigRank() == surv[0] && cfg.EventLog != nil {
+					cfg.EventLog.Append(trace.Event{Kind: trace.EventEvictionFailed, Generation: gen, Rank: 0,
+						Detail: "nature rank failed; falling back to checkpoint restart"})
+				}
+				return nil, cause
+			}
+			if len(surv) < minRanksFloor(&cfg) {
+				return nil, cause
+			}
+			nc, err := c.Shrink(surv)
+			if err != nil {
+				cur = err
+				continue
+			}
+			rsAny, err := nc.Bcast(0, nil)
+			if err != nil {
+				c, cur = nc, err
+				continue
+			}
+			rs := rsAny.(resume)
+			// Adopt the authoritative state wholesale: the worker may be a
+			// generation ahead of or behind Nature (a dead mid-tree rank can
+			// break a broadcast relay part-way), so local state is untrusted.
+			for i, st := range rs.Strategies {
+				pop.strategies[i] = st.Clone()
+			}
+			pop.clearDirty()
+			gen = rs.Gen
+			replayGen = rs.Replay
+			pendingFull = true
+			w = nc.Rank() - 1
+			lo, hi = blockRange(s*(s-1), nc.Size()-1, w)
+			payoffs = make([]float64, hi-lo)
+			games = 0
+			return nc, nil
+		}
+	}
+
+	for gen < end {
+		err := oneGeneration(c)
+		if err == nil {
+			gen++
+			continue
+		}
+		nc, rerr := recoverLive(c, err)
+		if rerr != nil {
+			return rerr
+		}
+		c = nc
+	}
+	for {
+		err := finalize(c)
+		if err == nil {
+			return nil
+		}
+		nc, rerr := recoverLive(c, err)
+		if rerr != nil {
+			return rerr
+		}
+		c = nc
+	}
 }

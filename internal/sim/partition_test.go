@@ -1,0 +1,80 @@
+package sim
+
+// Property tests for the work decomposition. Live eviction re-shards the
+// game-pair list over a shrunk worker set, so these invariants must hold
+// not just for the launch count but for every worker count the world can
+// shrink to (nWorkers-1, nWorkers-2, ...) — the loops below cover all of
+// them exhaustively for a spread of population sizes.
+
+import "testing"
+
+// blockRange must partition [0, n) into nWorkers contiguous, ascending,
+// non-overlapping blocks whose sizes differ by at most one.
+func TestBlockRangePartitionProperties(t *testing.T) {
+	for _, s := range []int{2, 3, 4, 5, 8, 13} {
+		n := s * (s - 1)
+		for nWorkers := 1; nWorkers <= n; nWorkers++ {
+			prevHi := 0
+			for w := 0; w < nWorkers; w++ {
+				lo, hi := blockRange(n, nWorkers, w)
+				if lo != prevHi {
+					t.Fatalf("n=%d workers=%d: block %d starts at %d, want %d (gap or overlap)",
+						n, nWorkers, w, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d workers=%d: block %d inverted [%d,%d)", n, nWorkers, w, lo, hi)
+				}
+				if size := hi - lo; size != n/nWorkers && size != n/nWorkers+1 {
+					t.Fatalf("n=%d workers=%d: block %d size %d, want %d or %d (imbalanced)",
+						n, nWorkers, w, size, n/nWorkers, n/nWorkers+1)
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d workers=%d: blocks cover [0,%d), want [0,%d)", n, nWorkers, prevHi, n)
+			}
+		}
+	}
+}
+
+// rowSegments must tile each SSet's game row exactly: segments in ascending
+// column (and worker) order, contiguous, each lying inside its owner's
+// block. This is what lets Nature fold fitness in the sequential engine's
+// order at any worker count.
+func TestRowSegmentsTileRowsExactly(t *testing.T) {
+	for _, s := range []int{2, 3, 5, 8} {
+		n := s * (s - 1)
+		for nWorkers := 1; nWorkers <= n; nWorkers++ {
+			for i := 0; i < s; i++ {
+				segs := rowSegments(s, nWorkers, i)
+				pos := i * (s - 1)
+				prevWorker := -1
+				for _, seg := range segs {
+					if seg.lo != pos {
+						t.Fatalf("s=%d workers=%d row %d: segment starts at %d, want %d",
+							s, nWorkers, i, seg.lo, pos)
+					}
+					if seg.hi <= seg.lo {
+						t.Fatalf("s=%d workers=%d row %d: empty segment [%d,%d)",
+							s, nWorkers, i, seg.lo, seg.hi)
+					}
+					wLo, wHi := blockRange(n, nWorkers, seg.worker)
+					if seg.lo < wLo || seg.hi > wHi {
+						t.Fatalf("s=%d workers=%d row %d: segment [%d,%d) escapes worker %d's block [%d,%d)",
+							s, nWorkers, i, seg.lo, seg.hi, seg.worker, wLo, wHi)
+					}
+					if seg.worker <= prevWorker {
+						t.Fatalf("s=%d workers=%d row %d: worker order %d after %d",
+							s, nWorkers, i, seg.worker, prevWorker)
+					}
+					prevWorker = seg.worker
+					pos = seg.hi
+				}
+				if pos != (i+1)*(s-1) {
+					t.Fatalf("s=%d workers=%d row %d: segments end at %d, want %d",
+						s, nWorkers, i, pos, (i+1)*(s-1))
+				}
+			}
+		}
+	}
+}

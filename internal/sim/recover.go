@@ -60,6 +60,13 @@ func (p RestartPolicy) backoff(attempt int) time.Duration {
 // FullRecompute the counters match exactly too; incremental runs replay one
 // generation's games at each resume, which only inflates GamesPlayed).
 //
+// Recovery is evict-first, restart-second: with cfg.Evict, worker failures
+// are recovered live inside RunParallel (heartbeat detection, communicator
+// shrink, one-generation replay — see par.go) and never reach this
+// supervisor. Only failures live eviction cannot absorb — the Nature rank
+// dying, or survivors dropping below cfg.MinRanks — surface here and take
+// the checkpoint-restart path.
+//
 // When cfg.CheckpointEvery > 0 and no sink is configured, an in-memory sink
 // is installed automatically. With checkpointing disabled, recovery restarts
 // from the beginning — correct, but all progress is lost. With

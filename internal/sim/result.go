@@ -30,11 +30,15 @@ type Result struct {
 	Counters Counters
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
-	// Ranks is the number of ranks the run used (1 for sequential).
+	// Ranks is the number of ranks still in the world when the run finished
+	// (1 for sequential; start count minus live evictions for parallel).
 	Ranks int
 	// Restarts is how many times the recovery supervisor restarted the run
 	// (0 for a direct or fault-free run).
 	Restarts int
+	// Evictions is how many ranks were evicted live — failed and recovered
+	// from in flight, without a restart (Config.Evict).
+	Evictions int
 }
 
 // FinalAbundance tallies the final population's strategy abundance.

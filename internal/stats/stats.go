@@ -187,6 +187,18 @@ func (s *Series) Last() (gen int, v float64, ok bool) {
 // Values returns the kept values (not a copy).
 func (s *Series) Values() []float64 { return s.vals }
 
+// Truncate discards all samples past the first n, rolling the series back to
+// an earlier observation point — used when a recovered run replays
+// generations that had already been observed, so the replay cannot
+// double-record them. Out-of-range n is a no-op.
+func (s *Series) Truncate(n int) {
+	if n < 0 || n >= len(s.gens) {
+		return
+	}
+	s.gens = s.gens[:n]
+	s.vals = s.vals[:n]
+}
+
 // Abundance tracks how many SSets hold each distinct strategy, keyed by the
 // strategy's content fingerprint. It answers the paper's Fig. 2 question:
 // what fraction of the population has adopted a given strategy.

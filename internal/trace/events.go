@@ -21,6 +21,13 @@ const (
 	EventDegrade EventKind = "degrade"
 	// EventGiveUp: the restart budget was exhausted.
 	EventGiveUp EventKind = "give_up"
+	// EventEviction: a failed rank was evicted live — the world shrank onto
+	// the survivors and the run continued without a restart.
+	EventEviction EventKind = "eviction"
+	// EventEvictionFailed: live eviction was not possible (the Nature rank
+	// died, or survivors fell below the configured floor); the run falls
+	// back to checkpoint-restart.
+	EventEvictionFailed EventKind = "eviction_failed"
 )
 
 // Event is one fault-tolerance occurrence on a run's timeline.
