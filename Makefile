@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race strict fuzz check clean
+.PHONY: all build test vet lint race strict fuzz check clean
 
 all: build test
 
@@ -13,19 +13,30 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-detector pass over the concurrent packages, fault-injection and
-# recovery tests included (they run scripted kills/stalls under -race).
+# egdlint: the repo's own static analyzers for MPI-usage and
+# determinism invariants (see internal/lint/README.md). Exit 0 means
+# every package honours them.
+lint:
+	$(GO) run ./cmd/egdlint ./...
+
+# Race-detector pass over every package: the fault-injection, recovery,
+# and eviction tests run scripted kills/stalls under -race, and the
+# eviction-era packages (stats, trace, checkpoint) ride along.
 race:
-	$(GO) test -race ./internal/mpi ./internal/sim
+	$(GO) test -race ./...
 
 # Strict payload accounting: unknown wire types panic instead of logging.
 strict:
 	$(GO) test -tags mpistrict ./internal/mpi ./internal/sim
 
+# Short fuzz pass over every fuzz target that guards a parser: the
+# checkpoint wire format, the fault-spec grammar, and the trace CSV.
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
+	$(GO) test -fuzz=FuzzParseFault -fuzztime=10s ./internal/mpi
+	$(GO) test -fuzz=FuzzParseCSV -fuzztime=10s ./internal/trace
 
-check: vet
+check: vet lint
 	$(GO) test -race ./...
 
 clean:

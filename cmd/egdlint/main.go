@@ -1,0 +1,59 @@
+// Command egdlint is the multichecker for the egdlint analyzer suite:
+// it enforces the MPI-usage and determinism invariants the reproduction
+// depends on (see internal/lint/README.md).
+//
+//	egdlint ./...            lint every package of the module in cwd
+//	egdlint -list            print the analyzers and their docs
+//	egdlint -dir path ./...  lint a module rooted elsewhere
+//
+// Exit status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("egdlint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		list = fs.Bool("list", false, "print the analyzers and exit")
+		dir  = fs.String("dir", ".", "directory to resolve package patterns in")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.RunAnalyzers(*dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(errw, "egdlint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(out, "egdlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

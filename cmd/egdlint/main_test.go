@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func needGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("egdlint -list exited %d: %s", code, errw.String())
+	}
+	got := out.String()
+	for _, name := range []string{"mpierrcheck", "mpirequest", "mpicollective", "mpitag", "determinism"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, got)
+		}
+	}
+}
+
+// The whole repository must lint clean: this is the same invariant
+// `make lint` enforces in CI, kept under `go test` so a finding fails
+// the ordinary test run too.
+func TestRepoLintsClean(t *testing.T) {
+	needGo(t)
+	var out, errw strings.Builder
+	code := run([]string{"-dir", "../..", "./..."}, &out, &errw)
+	if code == 2 {
+		t.Fatalf("egdlint failed to run: %s", errw.String())
+	}
+	if code != 0 {
+		t.Errorf("egdlint found violations in the repo:\n%s", out.String())
+	}
+}
+
+// The fixture tree deliberately violates every analyzer; linting it
+// must produce findings and exit 1, proving the binary's non-zero path.
+func TestFixturesAreDirty(t *testing.T) {
+	needGo(t)
+	var out, errw strings.Builder
+	code := run([]string{"-dir", "../../internal/lint/testdata/src", "./errcheck", "./tag"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("expected exit 1 on fixture packages, got %d (stderr: %s)", code, errw.String())
+	}
+	for _, want := range []string{"mpierrcheck", "mpitag", "finding(s)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fixture lint output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

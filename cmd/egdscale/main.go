@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -26,26 +28,32 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "egdscale:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("egdscale", flag.ContinueOnError)
 	var (
-		all        = flag.Bool("all", false, "print every table and figure")
-		table      = flag.Int("table", 0, "print one table (1,3,4,6,7,8)")
-		fig        = flag.Int("fig", 0, "print one figure (3,4,5,6,7)")
-		fullSystem = flag.Bool("fullsystem", false, "include the 72-rack 294,912-processor point in Fig. 7")
-		hostCal    = flag.Bool("host-calibrate", false, "calibrate per-game costs from this host's engine instead of the paper anchor")
-		measure    = flag.Bool("measure", false, "measure real parallel-engine scaling on this host")
-		mappings   = flag.Bool("mappings", false, "run the rank-to-torus mapping study (paper future work)")
-		knee       = flag.Bool("knee", false, "compute the SSets-per-processor efficiency knee (Fig. 5 rule of thumb)")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		fig4Procs  = flag.Int("fig4procs", 2048, "processor count for the Fig. 4 runtime column")
+		all        = fs.Bool("all", false, "print every table and figure")
+		table      = fs.Int("table", 0, "print one table (1,3,4,6,7,8)")
+		fig        = fs.Int("fig", 0, "print one figure (3,4,5,6,7)")
+		fullSystem = fs.Bool("fullsystem", false, "include the 72-rack 294,912-processor point in Fig. 7")
+		hostCal    = fs.Bool("host-calibrate", false, "calibrate per-game costs from this host's engine instead of the paper anchor")
+		measure    = fs.Bool("measure", false, "measure real parallel-engine scaling on this host")
+		mappings   = fs.Bool("mappings", false, "run the rank-to-torus mapping study (paper future work)")
+		knee       = fs.Bool("knee", false, "compute the SSets-per-processor efficiency knee (Fig. 5 rule of thumb)")
+		csv        = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		fig4Procs  = fs.Int("fig4procs", 2048, "processor count for the Fig. 4 runtime column")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cal := core.DefaultCalibration()
 	if *hostCal {
@@ -55,7 +63,7 @@ func run() error {
 			return err
 		}
 		cal = hc.Scaled(perfmodel.BlueGeneL())
-		fmt.Printf("# host calibration (search engine, scaled to BG/L clock): %v\n", cal.GameSeconds[1:])
+		fmt.Fprintf(out, "# host calibration (search engine, scaled to BG/L clock): %v\n", cal.GameSeconds[1:])
 	}
 
 	emit := func(t *core.Table, err error) error {
@@ -63,10 +71,10 @@ func run() error {
 			return err
 		}
 		if *csv {
-			fmt.Println("# " + t.Title)
-			fmt.Print(t.CSV())
+			fmt.Fprintln(out, "# "+t.Title)
+			fmt.Fprint(out, t.CSV())
 		} else {
-			fmt.Println(t.Format())
+			fmt.Fprintln(out, t.Format())
 		}
 		return nil
 	}
@@ -191,12 +199,12 @@ func run() error {
 	}
 	if *measure || *all {
 		printed = true
-		if err := measureHost(*csv); err != nil {
+		if err := measureHost(out, *csv); err != nil {
 			return err
 		}
 	}
 	if !printed {
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("nothing selected; use -all, -table N, -fig N, or -measure")
 	}
 	return nil
@@ -205,7 +213,7 @@ func run() error {
 // measureHost runs the real parallel engine across rank counts on this
 // host and prints measured strong scaling — the non-projected counterpart
 // of Figures 3/5/7.
-func measureHost(csv bool) error {
+func measureHost(out io.Writer, csv bool) error {
 	cfg := sim.DefaultConfig(1, 96)
 	cfg.Generations = 20
 	cfg.PCRate = core.SmallStudyPCRate
@@ -231,10 +239,10 @@ func measureHost(csv bool) error {
 		})
 	}
 	if csv {
-		fmt.Println("# " + t.Title)
-		fmt.Print(t.CSV())
+		fmt.Fprintln(out, "# "+t.Title)
+		fmt.Fprint(out, t.CSV())
 	} else {
-		fmt.Println(t.Format())
+		fmt.Fprintln(out, t.Format())
 	}
 	return nil
 }

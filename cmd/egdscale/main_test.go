@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test of the analytic tables: they derive from the paper's
+// closed-form counts, so they need no measurement and print instantly.
+func TestRunTablesSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "1"}, &out); err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+	}
+	if got := out.String(); !strings.Contains(got, "Table") {
+		t.Errorf("table output missing title:\n%s", got)
+	}
+}
+
+// The modelled Blue Gene projection exercises the perfmodel path.
+func TestRunProjectionSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "6"}, &out); err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"Table", "512"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("projection output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCSVSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-csv", "-table", "3"}, &out); err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "# ") {
+		t.Errorf("CSV output missing commented title:\n%s", got)
+	}
+	if !strings.Contains(got, ",") {
+		t.Errorf("CSV output has no comma-separated rows:\n%s", got)
+	}
+}
+
+func TestRunNothingSelected(t *testing.T) {
+	var out strings.Builder
+	err := run(nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "nothing selected") {
+		t.Fatalf("empty selection accepted: %v", err)
+	}
+}

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -26,26 +28,32 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "egdviz:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("egdviz", flag.ContinueOnError)
 	var (
-		in       = flag.String("in", "", "checkpoint file to visualise")
-		doRun    = flag.Bool("run", false, "run a fresh scaled Fig. 2 validation instead of loading a checkpoint")
-		ssets    = flag.Int("ssets", 64, "SSets for -run")
-		gens     = flag.Int("gens", 5000, "generations for -run")
-		seed     = flag.Uint64("seed", 1, "seed for -run and clustering")
-		k        = flag.Int("k", 8, "k-means cluster count")
-		ppmPath  = flag.String("ppm", "", "write the population map as a PPM image to this file")
-		cellSize = flag.Int("cell", 4, "PPM pixels per strategy-table cell")
-		maxRows  = flag.Int("rows", 64, "ASCII map row cap (0 = all)")
-		noSort   = flag.Bool("nosort", false, "do not reorder rows by cluster (initial-population view)")
+		in       = fs.String("in", "", "checkpoint file to visualise")
+		doRun    = fs.Bool("run", false, "run a fresh scaled Fig. 2 validation instead of loading a checkpoint")
+		ssets    = fs.Int("ssets", 64, "SSets for -run")
+		gens     = fs.Int("gens", 5000, "generations for -run")
+		seed     = fs.Uint64("seed", 1, "seed for -run and clustering")
+		k        = fs.Int("k", 8, "k-means cluster count")
+		ppmPath  = fs.String("ppm", "", "write the population map as a PPM image to this file")
+		cellSize = fs.Int("cell", 4, "PPM pixels per strategy-table cell")
+		maxRows  = fs.Int("rows", 64, "ASCII map row cap (0 = all)")
+		noSort   = fs.Bool("nosort", false, "do not reorder rows by cluster (initial-population view)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var strategies []strategy.Strategy
 	var memory int
@@ -62,20 +70,20 @@ func run() error {
 		}
 		strategies = snap.Strategies
 		memory = snap.Memory
-		fmt.Printf("loaded checkpoint: generation %d, %d SSets, memory-%d\n",
+		fmt.Fprintf(out, "loaded checkpoint: generation %d, %d SSets, memory-%d\n",
 			snap.Generation, len(strategies), memory)
 	case *doRun:
 		cfg := core.WSLSValidationConfig(*ssets, *gens, *seed)
-		out, err := core.RunWSLSValidation(cfg, *k)
+		res, err := core.RunWSLSValidation(cfg, *k)
 		if err != nil {
 			return err
 		}
-		strategies = out.Result.Final
+		strategies = res.Result.Final
 		memory = cfg.Memory
-		fmt.Printf("fresh run: %d SSets, %d generations; WSLS fraction %.3f\n",
-			*ssets, *gens, out.WSLSFraction)
+		fmt.Fprintf(out, "fresh run: %d SSets, %d generations; WSLS fraction %.3f\n",
+			*ssets, *gens, res.WSLSFraction)
 	default:
-		flag.Usage()
+		fs.Usage()
 		return fmt.Errorf("need -in FILE or -run")
 	}
 	if len(strategies) == 0 {
@@ -120,11 +128,11 @@ func run() error {
 	if rounded.Equal(strategy.WSLS(sp)) {
 		label += " (WSLS)"
 	}
-	fmt.Printf("dominant cluster: %.1f%% of SSets, centroid rounds to %s\n", 100*frac, label)
-	fmt.Printf("cluster sizes: %v (inertia %.3f, %d Lloyd iterations)\n", km.Sizes, km.Inertia, km.Iterations)
+	fmt.Fprintf(out, "dominant cluster: %.1f%% of SSets, centroid rounds to %s\n", 100*frac, label)
+	fmt.Fprintf(out, "cluster sizes: %v (inertia %.3f, %d Lloyd iterations)\n", km.Sizes, km.Inertia, km.Iterations)
 
-	fmt.Println("population map (rows = SSets by cluster, cols = states; '.'=C '#'=D):")
-	fmt.Print(core.AsciiMap(sorted, *maxRows))
+	fmt.Fprintln(out, "population map (rows = SSets by cluster, cols = states; '.'=C '#'=D):")
+	fmt.Fprint(out, core.AsciiMap(sorted, *maxRows))
 
 	if *ppmPath != "" {
 		f, err := os.Create(*ppmPath)
@@ -135,7 +143,7 @@ func run() error {
 		if err := core.WritePPM(f, sorted, *cellSize); err != nil {
 			return err
 		}
-		fmt.Printf("image -> %s\n", *ppmPath)
+		fmt.Fprintf(out, "image -> %s\n", *ppmPath)
 	}
 	return nil
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end smoke test of the fresh-run path: a small scaled Fig. 2
+// validation must cluster, label the dominant strategy, and render the
+// population map and PPM image.
+func TestRunFreshSmoke(t *testing.T) {
+	ppm := filepath.Join(t.TempDir(), "fig2.ppm")
+	var out strings.Builder
+	err := run([]string{
+		"-run", "-ssets", "16", "-gens", "200", "-seed", "7", "-k", "4",
+		"-rows", "8", "-ppm", ppm, "-cell", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"fresh run: 16 SSets, 200 generations",
+		"dominant cluster:",
+		"cluster sizes:",
+		"population map",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	img, err := os.ReadFile(ppm)
+	if err != nil {
+		t.Fatalf("PPM not written: %v", err)
+	}
+	if !strings.HasPrefix(string(img), "P6") {
+		t.Errorf("PPM missing P6 magic, got %q", img[:min(8, len(img))])
+	}
+}
+
+func TestRunNeedsInputSelection(t *testing.T) {
+	var out strings.Builder
+	err := run(nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "need -in FILE or -run") {
+		t.Fatalf("no input selection accepted: %v", err)
+	}
+}
+
+func TestRunMissingCheckpoint(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-in", filepath.Join(t.TempDir(), "missing.ckpt")}, &out)
+	if err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}

@@ -1,0 +1,12 @@
+package lint
+
+// All returns the full egdlint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MPIErrCheck,
+		MPIRequest,
+		MPICollective,
+		MPITag,
+		Determinism,
+	}
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. Grammar:
+//
+//	//egdlint:allow <rule> <reason...>
+//
+// The directive suppresses findings of analyzer <rule> on its own line
+// and on the line immediately below it (so it works both as a trailing
+// comment and as a standalone comment above the flagged statement).
+// The reason is mandatory: an allow without one is itself a finding.
+const directivePrefix = "//egdlint:allow"
+
+// allowSet records, per file and line, which analyzers are suppressed.
+type allowSet map[string]map[int]map[string]bool // filename -> line -> rule
+
+func (s allowSet) add(file string, line int, rule string) {
+	byLine := s[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[file] = byLine
+	}
+	for _, l := range []int{line, line + 1} {
+		if byLine[l] == nil {
+			byLine[l] = make(map[string]bool)
+		}
+		byLine[l][rule] = true
+	}
+}
+
+func (s allowSet) allowed(rule string, pos token.Position) bool {
+	return s[pos.Filename][pos.Line][rule]
+}
+
+// collectDirectives scans every comment in the package for
+// //egdlint:allow directives. It returns the suppression set plus
+// findings for malformed directives: a missing reason or an unknown
+// rule name (both under the pseudo-analyzer "directive", which cannot
+// itself be suppressed).
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) (allowSet, []Finding) {
+	allows := make(allowSet)
+	var findings []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					findings = append(findings, Finding{Analyzer: "directive", Pos: pos,
+						Message: "egdlint:allow needs a rule name and a reason"})
+				case !known[fields[0]]:
+					findings = append(findings, Finding{Analyzer: "directive", Pos: pos,
+						Message: "egdlint:allow names unknown rule " + quote(fields[0])})
+				case len(fields) < 2:
+					findings = append(findings, Finding{Analyzer: "directive", Pos: pos,
+						Message: "egdlint:allow " + fields[0] + " needs a reason"})
+				default:
+					allows.add(pos.Filename, pos.Line, fields[0])
+				}
+			}
+		}
+	}
+	return allows, findings
+}
+
+func quote(s string) string { return `"` + s + `"` }

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MPIRequest flags *mpi.Request values from Isend/Irecv that never
+// reach Wait or Cancel.
+//
+// An Irecv that is neither waited nor cancelled parks a goroutine on
+// the rank's inbox until the world shuts down — exactly the leak PR 1
+// fixed in the shutdown path — and an unwaited Isend discards the
+// delivery error. The check is conservative: a request that escapes
+// the function (returned, stored, passed along, appended) is assumed
+// to be completed elsewhere and is not flagged.
+var MPIRequest = &Analyzer{
+	Name: "mpirequest",
+	Doc:  "every *mpi.Request from Isend/Irecv must reach Wait or Cancel",
+	Run:  runMPIRequest,
+}
+
+func runMPIRequest(pass *Pass) error {
+	for _, f := range pass.Files {
+		checkRequestsInFile(pass, f)
+	}
+	return nil
+}
+
+type requestUse struct {
+	def     ast.Node // statement that created the request
+	method  string   // Isend or Irecv
+	settled bool     // reached Wait/Cancel or escaped the function
+}
+
+func checkRequestsInFile(pass *Pass, f *ast.File) {
+	requests := make(map[types.Object]*requestUse)
+
+	// Pass 1: find request definitions and immediately-dropped requests.
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if method, ok := requestCall(pass, n.X); ok {
+				pass.Reportf(n.Pos(), "*mpi.Request from %s dropped; it must reach Wait or Cancel", method)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				method, ok := requestCall(pass, rhs)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				id, isIdent := n.Lhs[i].(*ast.Ident)
+				if !isIdent {
+					continue // stored into a field/slice: escapes
+				}
+				if id.Name == "_" {
+					pass.Reportf(rhs.Pos(), "*mpi.Request from %s assigned to _; it must reach Wait or Cancel", method)
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && requests[obj] == nil {
+					requests[obj] = &requestUse{def: n, method: method}
+				}
+			}
+		}
+		return true
+	})
+	if len(requests) == 0 {
+		return
+	}
+
+	// Pass 2: classify every use of each request variable. A use as the
+	// receiver of Wait or Cancel settles it; any non-receiver use means
+	// it escapes and is settled elsewhere; a use only as the receiver of
+	// other methods settles nothing.
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		req := requests[pass.TypesInfo.Uses[id]]
+		if req == nil {
+			return true
+		}
+		parent := stack[len(stack)-2]
+		if asgn, ok := parent.(*ast.AssignStmt); ok {
+			for _, lhs := range asgn.Lhs {
+				if lhs == ast.Expr(id) {
+					return true // assignment target, not a consuming use
+				}
+			}
+		}
+		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
+			if sel.Sel.Name == "Wait" || sel.Sel.Name == "Cancel" {
+				// Only an actual call settles it; a method value does not.
+				if len(stack) >= 3 {
+					if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+						req.settled = true
+					}
+				}
+			}
+			return true
+		}
+		// Appears outside a selector: returned, passed, stored, compared —
+		// assume whoever holds it completes it.
+		req.settled = true
+		return true
+	})
+
+	for _, req := range requests {
+		if !req.settled {
+			pass.Reportf(req.def.Pos(), "*mpi.Request from %s never reaches Wait or Cancel", req.method)
+		}
+	}
+}
+
+// requestCall reports whether e is a call to Comm.Isend or Comm.Irecv.
+func requestCall(pass *Pass, e ast.Expr) (method string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	recv, name, isMPI := mpiMethod(pass.TypesInfo, call)
+	if !isMPI || recv != "Comm" || (name != "Isend" && name != "Irecv") {
+		return "", false
+	}
+	return name, true
+}

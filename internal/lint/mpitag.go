@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// reservedTagBase mirrors mpi.internalTagBase: tags at or above it are
+// reserved for the collectives' internal protocol.
+const reservedTagBase = 1 << 30
+
+// MPITag flags magic tag literals and tag constants outside the user
+// range in point-to-point calls.
+//
+// Comm.checkUserTag rejects tags outside [0, 1<<30) at runtime, but a
+// bare `c.Send(dst, 3, ...)` still compiles and silently collides with
+// any other site using 3. Tags are protocol identifiers: they must be
+// named constants, declared once, below the reserved collective range.
+// The mpi package's own wildcards (AnyTag, AnySource) are exempt.
+var MPITag = &Analyzer{
+	Name: "mpitag",
+	Doc:  "user tags must be named constants inside [0, 1<<30); no magic int literals",
+	Run:  runMPITag,
+}
+
+func runMPITag(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, method, ok := mpiMethod(pass.TypesInfo, call)
+			if !ok || recv != "Comm" {
+				return true
+			}
+			idx, tagged := taggedOps[method]
+			if !tagged || idx >= len(call.Args) {
+				return true
+			}
+			checkTagExpr(pass, method, call.Args[idx])
+			return true
+		})
+	}
+	return nil
+}
+
+func checkTagExpr(pass *Pass, method string, tag ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[tag]
+	if !ok || tv.Value == nil {
+		return // dynamic tag: its named-constant parts are checked where declared
+	}
+	mpiConst, namedConst := constProvenance(pass, tag)
+	if mpiConst {
+		return // the mpi package's own AnyTag/AnySource wildcards
+	}
+	if !namedConst {
+		pass.Reportf(tag.Pos(), "magic tag literal in %s; declare a named tag constant", method)
+		return
+	}
+	if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && (v < 0 || v >= reservedTagBase) {
+		pass.Reportf(tag.Pos(), "tag constant %d in %s is outside the user range [0, 1<<30)", v, method)
+	}
+}
+
+// constProvenance reports whether the expression references a constant
+// declared in the mpi package itself, and whether it references any
+// named constant at all (as opposed to being built purely of literals).
+func constProvenance(pass *Pass, e ast.Expr) (mpiConst, namedConst bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+		if !ok {
+			return true
+		}
+		namedConst = true
+		if c.Pkg() != nil && c.Pkg().Name() == "mpi" {
+			mpiConst = true
+		}
+		return true
+	})
+	return mpiConst, namedConst
+}

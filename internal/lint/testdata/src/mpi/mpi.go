@@ -1,0 +1,80 @@
+// Package mpi is a compile-only stand-in for repro/internal/mpi: the
+// egdlint analyzers identify the MPI layer structurally (a package
+// named "mpi" declaring Comm/World/Request), so fixtures exercise them
+// without importing the real runtime.
+package mpi
+
+import "time"
+
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Message mirrors mpi.Message.
+type Message struct {
+	Source, Tag int
+	Payload     any
+}
+
+// Op mirrors the reduction operator enum.
+type Op int
+
+// OpSum mirrors mpi.OpSum.
+const OpSum Op = 0
+
+// World mirrors mpi.World.
+type World struct{}
+
+// NewWorld mirrors mpi.NewWorld.
+func NewWorld(n int) *World { return &World{} }
+
+// Run mirrors World.Run.
+func (w *World) Run(body func(*Comm) error) error { return nil }
+
+// Shrink mirrors World.Shrink.
+func (w *World) Shrink(survivors []int) (*World, error) { return nil, nil }
+
+// Comm mirrors mpi.Comm.
+type Comm struct{}
+
+func (c *Comm) Rank() int     { return 0 }
+func (c *Comm) OrigRank() int { return 0 }
+func (c *Comm) Size() int     { return 1 }
+
+func (c *Comm) Send(dst, tag int, payload any) error { return nil }
+func (c *Comm) Recv(src, tag int) (Message, error)   { return Message{}, nil }
+func (c *Comm) RecvTimeout(src, tag int, timeout time.Duration) (Message, error) {
+	return Message{}, nil
+}
+
+func (c *Comm) Bcast(root int, payload any) (any, error)               { return nil, nil }
+func (c *Comm) NaiveBcast(root int, payload any) (any, error)          { return nil, nil }
+func (c *Comm) Reduce(root int, value float64, op Op) (float64, error) { return 0, nil }
+func (c *Comm) Allreduce(value float64, op Op) (float64, error)        { return 0, nil }
+func (c *Comm) ReduceSlice(root int, v []float64, op Op) ([]float64, error) {
+	return nil, nil
+}
+func (c *Comm) Gather(root int, payload any) ([]any, error) { return nil, nil }
+func (c *Comm) Allgather(payload any) ([]any, error)        { return nil, nil }
+func (c *Comm) Scatter(root int, payloads []any) (any, error) {
+	return nil, nil
+}
+func (c *Comm) Barrier() error                        { return nil }
+func (c *Comm) Agree() ([]int, error)                 { return nil, nil }
+func (c *Comm) Shrink(survivors []int) (*Comm, error) { return nil, nil }
+
+// Isend mirrors Comm.Isend.
+func (c *Comm) Isend(dst, tag int, payload any) *Request { return &Request{} }
+
+// Irecv mirrors Comm.Irecv.
+func (c *Comm) Irecv(src, tag int) *Request { return &Request{} }
+
+// Request mirrors mpi.Request.
+type Request struct{}
+
+// Wait mirrors Request.Wait.
+func (r *Request) Wait() (Message, error) { return Message{}, nil }
+
+// Cancel mirrors Request.Cancel.
+func (r *Request) Cancel() {}

@@ -1,0 +1,59 @@
+// Fixtures for mpirequest: every *mpi.Request from Isend/Irecv must
+// reach Wait or Cancel, escape the function, or be annotated.
+package request
+
+import "fixtures/mpi"
+
+const tagData = 3
+
+func bad(c *mpi.Comm) {
+	c.Irecv(0, tagData)           // want `\*mpi\.Request from Irecv dropped`
+	c.Isend(1, tagData, "x")      // want `\*mpi\.Request from Isend dropped`
+	_ = c.Irecv(0, tagData)       // want `\*mpi\.Request from Irecv assigned to _`
+	leaked := c.Irecv(0, tagData) // want `\*mpi\.Request from Irecv never reaches Wait or Cancel`
+	_ = leaked.Wait               // method value is not a call; the request still leaks
+}
+
+func good(c *mpi.Comm) error {
+	r := c.Irecv(0, tagData)
+	msg, err := r.Wait()
+	if err != nil {
+		return err
+	}
+	_ = msg
+
+	cancelled := c.Irecv(mpi.AnySource, mpi.AnyTag)
+	cancelled.Cancel()
+
+	sent := c.Isend(1, tagData, "x")
+	if _, err := sent.Wait(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// escaping requests are assumed to be completed by whoever holds them.
+func escapes(c *mpi.Comm, sink chan *mpi.Request) *mpi.Request {
+	pending := make([]*mpi.Request, 0, 2)
+	r := c.Irecv(0, tagData)
+	pending = append(pending, r)
+	sink <- pending[0]
+	returned := c.Irecv(1, tagData)
+	return returned
+}
+
+// waitAll shows settlement through a closure.
+func waitAll(c *mpi.Comm) error {
+	r := c.Irecv(0, tagData)
+	finish := func() error {
+		_, err := r.Wait()
+		return err
+	}
+	return finish()
+}
+
+func annotated(c *mpi.Comm) {
+	// The world's shutdown releases unmatched Irecvs; this probe is fire
+	// and forget by design.
+	c.Irecv(mpi.AnySource, mpi.AnyTag) //egdlint:allow mpirequest released by world shutdown, probe is fire-and-forget
+}

@@ -180,9 +180,13 @@ func TestWorldRecvTimeoutDetectsDroppedCollectivePacket(t *testing.T) {
 	if !errors.Is(err, ErrRecvTimeout) {
 		t.Fatalf("err = %v, want ErrRecvTimeout", err)
 	}
+	// Both ranks end up stalled receivers: rank 0 waits for the dropped
+	// up-sweep packet, and rank 1 waits for the down-sweep that can then
+	// never come. Their deadlines are nearly simultaneous, so scheduling
+	// decides which one trips first and is attributed; either is correct.
 	var rf *RankFailedError
-	if !errors.As(err, &rf) || rf.Rank != 0 {
-		t.Fatalf("failed rank = %+v, want rank 0 (the stalled receiver)", rf)
+	if !errors.As(err, &rf) || (rf.Rank != 0 && rf.Rank != 1) {
+		t.Fatalf("failed rank = %+v, want one of the stalled receivers (rank 0 or 1)", rf)
 	}
 }
 

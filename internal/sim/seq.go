@@ -16,7 +16,7 @@ func RunSequential(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //egdlint:allow determinism elapsed-time metadata for Result.Elapsed, not part of the trajectory
 	master := rng.New(cfg.Seed)
 	pop := NewPopulation(cfg, master)
 	var eng *game.SearchEngine
@@ -54,7 +54,7 @@ func RunSequential(cfg Config) (*Result, error) {
 
 	res.Final = pop.Snapshot()
 	res.FinalFitness = pop.Fitnesses()
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(start) //egdlint:allow determinism elapsed-time metadata, not part of the trajectory
 	return res, nil
 }
 
