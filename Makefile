@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race strict fuzz check clean
+.PHONY: all build test vet lint race strict fuzz bench check clean
 
 all: build test
 
@@ -35,6 +35,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
 	$(GO) test -fuzz=FuzzParseFault -fuzztime=10s ./internal/mpi
 	$(GO) test -fuzz=FuzzParseCSV -fuzztime=10s ./internal/trace
+
+# Single-iteration sweep of the paper-artefact benchmarks (bench_test.go)
+# with allocation stats, streamed as test2json records to BENCH_5.json —
+# the machine-readable artifact CI uploads. One iteration keeps the sweep
+# minutes-scale; shapes (scaling curves, compute/comm split) survive, but
+# absolute ns/op are noisy at -benchtime=1x.
+bench:
+	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime 1x . > BENCH_5.json
 
 check: vet lint
 	$(GO) test -race ./...

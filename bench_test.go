@@ -13,6 +13,7 @@ package egd
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/game"
@@ -69,6 +70,43 @@ func BenchmarkFig2_WSLSValidation(b *testing.B) {
 			b.Fatal(err)
 		}
 		_ = out.WSLSFraction
+	}
+}
+
+// BenchmarkTableV_ComputeCommBreakdown regenerates Table V's content — the
+// per-phase compute/communication split of a parallel generation — from the
+// observability layer's phase timers instead of external profiling. The
+// custom metrics report each phase's share of total phase time in percent
+// (compute = game play; comm = broadcasts, reductions, point-to-point
+// fitness traffic), the split the paper derives for its Blue Gene runs.
+func BenchmarkTableV_ComputeCommBreakdown(b *testing.B) {
+	for _, ranks := range []int{2, 5, 9} {
+		b.Run(fmt.Sprintf("ranks-%d", ranks), func(b *testing.B) {
+			cfg := sim.DefaultConfig(1, 32)
+			cfg.Generations = 5
+			cfg.PCRate = core.SmallStudyPCRate
+			cfg.FullRecompute = true
+			cfg.Rules.Rounds = 50
+			cfg.Seed = 10
+			cfg.Metrics = true
+			var compute, comm, other time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunParallel(cfg, ranks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dc, dm, do := res.Metrics.ComputeCommSplit()
+				compute += dc
+				comm += dm
+				other += do
+			}
+			b.StopTimer()
+			if total := compute + comm + other; total > 0 {
+				b.ReportMetric(100*float64(compute)/float64(total), "compute-%")
+				b.ReportMetric(100*float64(comm)/float64(total), "comm-%")
+			}
+		})
 	}
 }
 

@@ -11,6 +11,7 @@
 //	egdsim -ssets 32 -gens 2000 -ranks 4 -checkpoint-every 100 \
 //	    -checkpoint-file run.ckpt -inject-fault rank=2,after=500
 //	egdsim -ssets 32 -gens 2000 -ranks 4 -evict -inject-fault rank=2,after=500
+//	egdsim -ssets 32 -gens 1000 -ranks 4 -metrics run-metrics.json -pprof-cpu cpu.out
 package main
 
 import (
@@ -19,11 +20,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
 	"repro/internal/strategy"
@@ -73,6 +77,10 @@ func run(args []string, out io.Writer) error {
 		minRanks  = fs.Int("min-ranks", 0, "smallest world -evict may shrink to before falling back to restart (0 = engine floor of 2)")
 		mapRows   = fs.Int("map", 0, "print an ASCII strategy map of up to this many SSets")
 		top       = fs.Int("top", 5, "report the top-k most abundant final strategies")
+		metricsTo = fs.String("metrics", "", "collect run metrics (phase timers, per-rank comm accounting) and write a snapshot to this file")
+		metricsFm = fs.String("metrics-format", "json", "metrics snapshot format: json or prom (Prometheus text exposition)")
+		pprofCPU  = fs.String("pprof-cpu", "", "write a CPU profile of the run to this file")
+		pprofMem  = fs.String("pprof-mem", "", "write a heap profile taken after the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,6 +164,10 @@ func run(args []string, out io.Writer) error {
 	cfg.HeartbeatEvery = *hbEvery
 	cfg.HeartbeatMisses = *hbMisses
 	cfg.MinRanks = *minRanks
+	cfg.Metrics = *metricsTo != ""
+	if *metricsFm != "json" && *metricsFm != "prom" {
+		return fmt.Errorf("-metrics-format must be json or prom, got %q", *metricsFm)
+	}
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -193,6 +205,17 @@ func run(args []string, out io.Writer) error {
 	if cfg.CheckpointEvery > 0 || (resilient && *ranks >= 2) {
 		cfg.EventLog = trace.NewEventLog()
 	}
+	if *pprofCPU != "" {
+		f, err := os.Create(*pprofCPU)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	var (
 		res *sim.Result
 		err error
@@ -217,6 +240,25 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *pprofCPU != "" {
+		pprof.StopCPUProfile() // idempotent with the deferred stop
+		fmt.Fprintf(out, "cpu profile -> %s\n", *pprofCPU)
+	}
+	if *pprofMem != "" {
+		runtime.GC() // flush unreachable allocations so the heap profile reflects live data
+		f, ferr := os.Create(*pprofMem)
+		if ferr != nil {
+			return ferr
+		}
+		if werr := pprof.WriteHeapProfile(f); werr != nil {
+			f.Close()
+			return fmt.Errorf("write heap profile: %w", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(out, "heap profile -> %s\n", *pprofMem)
+	}
 
 	fmt.Fprintf(out, "run: memory-%d, %d SSets, %d generations, %d ranks, %.2fs\n",
 		*memory, *ssets, *gens, res.Ranks, res.Elapsed.Seconds())
@@ -236,6 +278,9 @@ func run(args []string, out io.Writer) error {
 			detail := strings.ReplaceAll(e.Detail, "\n", "; ") // errors.Join is multi-line
 			fmt.Fprintf(out, "  %s: rank %d, attempt %d  %s\n", e.Kind, e.Rank, e.Attempt, detail)
 		}
+	}
+	if res.Metrics != nil {
+		printPhaseSummary(out, res)
 	}
 	if g, v, ok := res.MeanFitness.Last(); ok {
 		fmt.Fprintf(out, "final mean fitness (gen %d): %.4f  [1=all-defect .. 3=full cooperation]\n", g, v)
@@ -272,7 +317,51 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "checkpoint -> %s\n", *ckpt)
 	}
+	if *metricsTo != "" {
+		if err := writeMetrics(*metricsTo, *metricsFm, res); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "metrics (%s) -> %s\n", *metricsFm, *metricsTo)
+	}
 	return nil
+}
+
+// printPhaseSummary renders the per-phase wall-time table and the paper's
+// Table-V-style compute/communication split.
+func printPhaseSummary(out io.Writer, res *sim.Result) {
+	totals := res.Metrics.PhaseTotals()
+	var sum time.Duration
+	for _, p := range totals {
+		sum += time.Duration(p.Nanos)
+	}
+	fmt.Fprintln(out, "phase summary (wall time summed across ranks):")
+	fmt.Fprintf(out, "  %-14s %10s %14s %7s\n", "phase", "calls", "time", "share")
+	for _, p := range totals {
+		share := 0.0
+		if sum > 0 {
+			share = 100 * float64(p.Nanos) / float64(sum)
+		}
+		fmt.Fprintf(out, "  %-14s %10d %14v %6.1f%%\n", p.Phase, p.Calls, time.Duration(p.Nanos).Round(time.Microsecond), share)
+	}
+	compute, comm, other := res.Metrics.ComputeCommSplit()
+	if sum > 0 {
+		fmt.Fprintf(out, "compute/comm split: compute %.1f%%, comm %.1f%%, other %.1f%%\n",
+			100*float64(compute)/float64(sum), 100*float64(comm)/float64(sum), 100*float64(other)/float64(sum))
+	}
+}
+
+// writeMetrics serialises the run's metric registry snapshot.
+func writeMetrics(path, format string, res *sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap := res.MetricsRegistry().Snapshot()
+	if format == "prom" {
+		return metrics.WritePrometheus(f, snap)
+	}
+	return metrics.WriteJSON(f, snap)
 }
 
 // writeCheckpoint atomically-ish writes a final snapshot, counters included

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 // End-to-end smoke test of the fault-tolerance surface with live eviction:
@@ -69,5 +74,124 @@ func TestRunEvictNeedsParallelEngine(t *testing.T) {
 	err := run([]string{"-gens", "10", "-evict"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "-ranks >= 2") {
 		t.Fatalf("sequential -evict accepted: %v", err)
+	}
+}
+
+// -metrics writes a snapshot and prints the per-phase summary table.
+func TestRunMetricsSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	var out strings.Builder
+	err := run([]string{
+		"-memory", "1", "-ssets", "10", "-gens", "100", "-rounds", "20",
+		"-ranks", "3", "-seed", "7", "-metrics", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"phase summary",
+		"game_play",
+		"compute/comm split:",
+		"metrics (json) -> " + path,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Fatal("snapshot has no counters")
+	}
+}
+
+// Two same-seed runs produce byte-identical snapshots once wall-clock
+// fields are stripped — the determinism contract of -metrics output.
+func TestRunMetricsDeterministic(t *testing.T) {
+	capture := func(path string) []byte {
+		var out strings.Builder
+		err := run([]string{
+			"-memory", "1", "-ssets", "10", "-gens", "150", "-rounds", "20",
+			"-ranks", "4", "-seed", "11", "-metrics", path,
+		}, &out)
+		if err != nil {
+			t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap metrics.Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatal(err)
+		}
+		det, err := json.Marshal(snap.Deterministic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	dir := t.TempDir()
+	a := capture(filepath.Join(dir, "a.json"))
+	b := capture(filepath.Join(dir, "b.json"))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic snapshots differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// -metrics-format prom emits Prometheus text exposition format.
+func TestRunMetricsPrometheusFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.prom")
+	var out strings.Builder
+	err := run([]string{
+		"-memory", "1", "-ssets", "8", "-gens", "50", "-rounds", "20",
+		"-ranks", "2", "-seed", "3", "-metrics", path, "-metrics-format", "prom",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE egd_games_played_total counter",
+		`egd_comm_sent_messages_total{rank="0",tag="coll_bcast"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prom output missing %q", want)
+		}
+	}
+}
+
+func TestRunMetricsRejectsUnknownFormat(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-gens", "10", "-metrics", "x.json", "-metrics-format", "xml"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-metrics-format") {
+		t.Fatalf("unknown format accepted: %v", err)
+	}
+}
+
+// Sequential runs collect phase metrics too.
+func TestRunMetricsSequential(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	var out strings.Builder
+	err := run([]string{
+		"-memory", "1", "-ssets", "8", "-gens", "50", "-rounds", "20",
+		"-seed", "5", "-metrics", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "nature_step") {
+		t.Errorf("sequential phase summary missing nature_step:\n%s", out.String())
 	}
 }

@@ -8,5 +8,6 @@ func All() []*Analyzer {
 		MPICollective,
 		MPITag,
 		Determinism,
+		PkgDoc,
 	}
 }

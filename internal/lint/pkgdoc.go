@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// PkgDoc requires every package to carry a package-level doc comment.
+// Non-main packages must use godoc's canonical "Package <name> ..."
+// opening so the generated documentation index reads uniformly; main
+// packages may open however they like (the repo's convention is
+// "Command <name> ..."), but must say something. A missing comment is
+// reported once, at the package clause of the package's first file in
+// filename order, so the finding is stable across load orders.
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc:  "every package must have a package comment; non-main packages in godoc's \"Package <name>\" form",
+	Run:  runPkgDoc,
+}
+
+func runPkgDoc(pass *Pass) error {
+	var docs []*ast.File
+	for _, f := range pass.Files {
+		if f.Doc != nil {
+			docs = append(docs, f)
+		}
+	}
+	name := ""
+	if len(pass.Files) > 0 {
+		name = pass.Files[0].Name.Name
+	}
+	if len(docs) == 0 {
+		if pos := firstPackageClause(pass); pos != token.NoPos {
+			if name == "main" {
+				pass.Reportf(pos, "command package has no doc comment; document the command (\"Command <name> ...\")")
+			} else {
+				pass.Reportf(pos, "package %s has no package comment; document it in godoc's \"Package %s ...\" form", name, name)
+			}
+		}
+		return nil
+	}
+	if name == "main" {
+		return nil
+	}
+	want := "Package " + name
+	for _, f := range docs {
+		text := f.Doc.Text()
+		if !strings.HasPrefix(text, want+" ") && !strings.HasPrefix(text, want+"\n") &&
+			strings.TrimRight(text, "\n") != want {
+			pass.Reportf(f.Doc.Pos(), "package comment for %s must start %q", name, want)
+		}
+	}
+	return nil
+}
+
+// firstPackageClause returns the position of the package clause in the
+// package's first file by filename, NoPos for an empty package.
+func firstPackageClause(pass *Pass) token.Pos {
+	best := token.NoPos
+	bestName := ""
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Package).Filename
+		if best == token.NoPos || fname < bestName {
+			best, bestName = f.Package, fname
+		}
+	}
+	return best
+}

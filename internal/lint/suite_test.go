@@ -37,6 +37,12 @@ func TestMPITag(t *testing.T) {
 	linttest.Run(t, lint.MPITag, "tag")
 }
 
+func TestPkgDoc(t *testing.T) {
+	needGo(t)
+	linttest.Run(t, lint.PkgDoc,
+		"pkgdoc/missing", "pkgdoc/wrongform", "pkgdoc/good", "pkgdoc/mainmissing")
+}
+
 func TestDeterminism(t *testing.T) {
 	needGo(t)
 	old := lint.DeterministicPaths

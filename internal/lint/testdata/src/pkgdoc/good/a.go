@@ -1,0 +1,5 @@
+// Package good is documented in the canonical form, so the analyzer
+// stays silent — including for the comment-free second file.
+package good
+
+func unused() {}

@@ -1,0 +1,3 @@
+package main // want `command package has no doc comment`
+
+func main() {}

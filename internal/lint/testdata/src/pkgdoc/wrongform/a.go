@@ -1,0 +1,4 @@
+// Documents the package without godoc's canonical opening. // want `package comment for wrongform must start "Package wrongform"`
+package wrongform
+
+func unused() {}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as indented JSON. Output is
+// deterministic for a deterministic snapshot: entries are sorted by
+// name and the encoding carries no timestamps.
+func WriteJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): `# TYPE` headers per metric family, counters
+// and gauges as single samples, histograms expanded into cumulative
+// `_bucket{le="..."}` samples plus `_sum` and `_count`.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	seen := make(map[string]bool)
+	typeHeader := func(name, kind string) string {
+		fam := familyOf(name)
+		if seen[fam] {
+			return ""
+		}
+		seen[fam] = true
+		return fmt.Sprintf("# TYPE %s %s\n", fam, kind)
+	}
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", typeHeader(c.Name, "counter"), c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", typeHeader(g.Name, "gauge"), g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if hdr := typeHeader(h.Name, "histogram"); hdr != "" {
+			if _, err := io.WriteString(w, hdr); err != nil {
+				return err
+			}
+		}
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", spliceLabel(h.Name, "_bucket", "le", formatFloat(bound)), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", spliceLabel(h.Name, "_bucket", "le", "+Inf"), h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", suffixName(h.Name, "_sum"), formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", suffixName(h.Name, "_count"), h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// familyOf strips the label set from a metric identifier.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// suffixName appends a suffix to the base name, preserving any labels:
+// `h{rank="0"}` + `_sum` -> `h_sum{rank="0"}`.
+func suffixName(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// spliceLabel appends a suffix to the base name and adds one more label
+// to the (possibly empty) label set.
+func spliceLabel(name, suffix, key, value string) string {
+	label := fmt.Sprintf("%s=%q", key, value)
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:len(name)-1] + "," + label + "}"
+	}
+	return name + suffix + "{" + label + "}"
+}
+
+// formatFloat renders a float for the text format; infinities use the
+// Prometheus spelling.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -38,6 +38,9 @@ func (c *Comm) Bcast(root int, payload any) (any, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
+	if stop := c.collTimer("bcast"); stop != nil {
+		defer stop()
+	}
 	if err := c.enterCollective(); err != nil {
 		return nil, err
 	}
@@ -107,6 +110,9 @@ func (c *Comm) Reduce(root int, value float64, op Op) (float64, error) {
 	if err := c.checkRank(root); err != nil {
 		return 0, err
 	}
+	if stop := c.collTimer("reduce"); stop != nil {
+		defer stop()
+	}
 	if err := c.enterCollective(); err != nil {
 		return 0, err
 	}
@@ -158,6 +164,9 @@ func (c *Comm) ReduceSlice(root int, values []float64, op Op) ([]float64, error)
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
+	if stop := c.collTimer("reduce_slice"); stop != nil {
+		defer stop()
+	}
 	if err := c.enterCollective(); err != nil {
 		return nil, err
 	}
@@ -201,6 +210,9 @@ func (c *Comm) ReduceSlice(root int, values []float64, op Op) ([]float64, error)
 func (c *Comm) Gather(root int, payload any) ([]any, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
+	}
+	if stop := c.collTimer("gather"); stop != nil {
+		defer stop()
 	}
 	if err := c.enterCollective(); err != nil {
 		return nil, err
@@ -248,6 +260,9 @@ func (c *Comm) Scatter(root int, payloads []any) (any, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
 	}
+	if stop := c.collTimer("scatter"); stop != nil {
+		defer stop()
+	}
 	if err := c.enterCollective(); err != nil {
 		return nil, err
 	}
@@ -276,6 +291,9 @@ func (c *Comm) Scatter(root int, payloads []any) (any, error) {
 // followed by a broadcast release (dissemination would be fewer rounds; the
 // tree matches the Blue Gene collective network the paper describes).
 func (c *Comm) Barrier() error {
+	if stop := c.collTimer("barrier"); stop != nil {
+		defer stop()
+	}
 	if err := c.enterCollective(); err != nil {
 		return err
 	}
@@ -322,6 +340,9 @@ func (c *Comm) Barrier() error {
 func (c *Comm) NaiveBcast(root int, payload any) (any, error) {
 	if err := c.checkRank(root); err != nil {
 		return nil, err
+	}
+	if stop := c.collTimer("naive_bcast"); stop != nil {
+		defer stop()
 	}
 	if err := c.enterCollective(); err != nil {
 		return nil, err

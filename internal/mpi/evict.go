@@ -142,6 +142,7 @@ func (w *World) startHeartbeat() func() {
 					return
 				case <-t.C:
 					w.lastBeat[rank].Store(int64(time.Since(w.hbStart)))
+					w.noteHeartbeat(rank)
 				}
 			}
 		}(r)

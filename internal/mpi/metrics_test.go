@@ -1,0 +1,221 @@
+package mpi
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestMetricsRoundTripMatchesPayloadAccounting sends one payload of
+// every modelled wire type across a two-rank world and asserts the
+// per-rank byte counters agree with the payloadBytes model — the same
+// accounting the mpistrict build enforces at the type level — and with
+// the world's coarse totals.
+func TestMetricsRoundTripMatchesPayloadAccounting(t *testing.T) {
+	payloads := []any{
+		[]byte{1, 2, 3},
+		[]uint64{1, 2},
+		[]float64{1, 2, 3, 4},
+		[]int{5},
+		[]uint32{6, 7, 8},
+		"hello",
+		3.14,
+		uint64(9),
+		true,
+		[2]int{1, 2},
+	}
+	var wantBytes uint64
+	for _, p := range payloads {
+		wantBytes += payloadBytes(p)
+	}
+
+	w := NewWorld(2)
+	w.EnableMetrics()
+	const tag = 7
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			for _, p := range payloads {
+				if err := c.Send(1, tag, p); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for range payloads {
+			if _, err := c.Recv(0, tag); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snaps := w.CommMetricsSnapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("got %d rank snapshots, want 2", len(snaps))
+	}
+	sender, receiver := snaps[0], snaps[1]
+	if sender.SentMsgs != uint64(len(payloads)) || sender.SentBytes != wantBytes {
+		t.Errorf("sender sent %d msgs / %d bytes, want %d / %d",
+			sender.SentMsgs, sender.SentBytes, len(payloads), wantBytes)
+	}
+	if receiver.RecvMsgs != uint64(len(payloads)) || receiver.RecvBytes != wantBytes {
+		t.Errorf("receiver got %d msgs / %d bytes, want %d / %d",
+			receiver.RecvMsgs, receiver.RecvBytes, len(payloads), wantBytes)
+	}
+	// The per-rank accounting and the world totals are two views of the
+	// same traffic.
+	stats := w.Stats()
+	if sender.SentMsgs != stats.PointToPointMessages || sender.SentBytes != stats.PointToPointBytes {
+		t.Errorf("per-rank (%d msgs, %d bytes) != world totals (%d, %d)",
+			sender.SentMsgs, sender.SentBytes, stats.PointToPointMessages, stats.PointToPointBytes)
+	}
+	// Everything travelled on one tag.
+	want := []TagTraffic{{Tag: tag, Msgs: uint64(len(payloads)), Bytes: wantBytes}}
+	if !reflect.DeepEqual(sender.SentByTag, want) {
+		t.Errorf("sender per-tag = %+v, want %+v", sender.SentByTag, want)
+	}
+	if !reflect.DeepEqual(receiver.RecvByTag, want) {
+		t.Errorf("receiver per-tag = %+v, want %+v", receiver.RecvByTag, want)
+	}
+}
+
+// TestMetricsCollectiveAccounting checks per-op invocation counts and
+// that wall time accumulates.
+func TestMetricsCollectiveAccounting(t *testing.T) {
+	w := NewWorld(4)
+	w.EnableMetrics()
+	err := w.Run(func(c *Comm) error {
+		if _, err := c.Bcast(0, 1.0); err != nil {
+			return err
+		}
+		if _, err := c.Bcast(0, 2.0); err != nil {
+			return err
+		}
+		if _, err := c.Reduce(0, float64(c.Rank()), OpSum); err != nil {
+			return err
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range w.CommMetricsSnapshot() {
+		byOp := map[string]CollectiveStat{}
+		for _, cs := range s.Collectives {
+			byOp[cs.Op] = cs
+		}
+		if byOp["bcast"].Calls != 2 {
+			t.Errorf("rank %d: bcast calls = %d, want 2", s.Rank, byOp["bcast"].Calls)
+		}
+		if byOp["reduce"].Calls != 1 || byOp["barrier"].Calls != 1 {
+			t.Errorf("rank %d: reduce/barrier calls = %d/%d, want 1/1",
+				s.Rank, byOp["reduce"].Calls, byOp["barrier"].Calls)
+		}
+		if byOp["bcast"].Nanos < 0 {
+			t.Errorf("rank %d: negative bcast time", s.Rank)
+		}
+	}
+}
+
+// TestMetricsDisabledByDefault: no accounting, nil handles, zero cost
+// paths exercised.
+func TestMetricsDisabledByDefault(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) error {
+		if c.Metrics() != nil {
+			t.Error("Metrics() non-nil without EnableMetrics")
+		}
+		if c.Rank() == 0 {
+			return c.Send(1, 1, []float64{1})
+		}
+		_, err := c.Recv(0, 1)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps := w.CommMetricsSnapshot(); snaps != nil {
+		t.Fatalf("snapshot without EnableMetrics: %+v", snaps)
+	}
+}
+
+// TestMetricsSurviveShrink: accounting keeps original-rank identity
+// across an eviction-mode shrink.
+func TestMetricsSurviveShrink(t *testing.T) {
+	w := NewWorld(3)
+	w.EnableMetrics()
+	w.EnableEviction(5*time.Millisecond, 2)
+	const tag = 3
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			return errors.New("deliberate death") // dies immediately
+		}
+		// Survivors: agree, shrink, then exchange one message on the
+		// sub-communicator.
+		surv, err := c.Agree()
+		if err != nil {
+			return err
+		}
+		nc, err := c.Shrink(surv)
+		if err != nil {
+			return err
+		}
+		if nc.Rank() == 0 {
+			if err := nc.Send(1, tag, []uint64{1, 2, 3}); err != nil {
+				return err
+			}
+		} else {
+			if _, err := nc.Recv(0, tag); err != nil {
+				return err
+			}
+		}
+		// Stay resident until the detector has declared rank 2 failed, so
+		// Run's verdict sees an eviction rather than an unexplained error.
+		for len(c.Evictions()) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := w.CommMetricsSnapshot()
+	if !snaps[2].Evicted {
+		t.Error("rank 2 not marked evicted")
+	}
+	if snaps[0].SentBytes != 24 {
+		t.Errorf("rank 0 sent %d bytes on the sub-world, want 24", snaps[0].SentBytes)
+	}
+	if snaps[1].RecvBytes != 24 {
+		t.Errorf("rank 1 received %d bytes on the sub-world, want 24", snaps[1].RecvBytes)
+	}
+	if snaps[0].Heartbeats == 0 && snaps[1].Heartbeats == 0 {
+		t.Error("no heartbeats recorded in eviction mode")
+	}
+}
+
+// TestMetricsIrecvAccounted: the non-blocking receive path books
+// received traffic too.
+func TestMetricsIrecvAccounted(t *testing.T) {
+	w := NewWorld(2)
+	w.EnableMetrics()
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, []float64{1, 2})
+		}
+		req := c.Irecv(0, 1)
+		_, err := req.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.CommMetricsSnapshot()[1]
+	if s.RecvMsgs != 1 || s.RecvBytes != 16 {
+		t.Errorf("Irecv accounting = %d msgs / %d bytes, want 1 / 16", s.RecvMsgs, s.RecvBytes)
+	}
+}

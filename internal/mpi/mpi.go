@@ -165,6 +165,10 @@ type World struct {
 	plan *FaultPlan
 	// recvTimeout, when non-zero, bounds every blocking receive.
 	recvTimeout time.Duration
+	// commMetrics, when non-nil, is the per-original-rank communication
+	// accounting EnableMetrics armed (see metrics.go). Root world only;
+	// sub-worlds route through rootW.
+	commMetrics []*RankMetrics
 
 	// root is the original world this sub-world was shrunk from (nil on the
 	// root itself); orig maps this world's dense ranks to original ranks
@@ -445,13 +449,11 @@ func (c *Comm) send(dst, tag int, payload any) error {
 		if v.drop {
 			// The sender transmitted (counters reflect it); the network
 			// lost the packet.
-			root.p2pMsgs.Add(1)
-			root.p2pByte.Add(payloadBytes(payload))
+			root.accountSend(src, tag, payload)
 			return nil
 		}
 	}
-	root.p2pMsgs.Add(1)
-	root.p2pByte.Add(payloadBytes(payload))
+	root.accountSend(src, tag, payload)
 	c.world.boxes[dst].put(envelope{source: c.rank, tag: tag, payload: payload})
 	return nil
 }
@@ -502,6 +504,7 @@ func (c *Comm) recvDeadline(src, tag int, timeout time.Duration) (Message, error
 	if err != nil {
 		return Message{}, err
 	}
+	c.accountRecv(e)
 	return Message{Source: e.source, Tag: e.tag, Payload: e.payload}, nil
 }
 
@@ -573,6 +576,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 		if err != nil {
 			r.err = err
 		} else {
+			c.accountRecv(e)
 			r.msg = Message{Source: e.source, Tag: e.tag, Payload: e.payload}
 		}
 		close(r.done)

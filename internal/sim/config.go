@@ -157,6 +157,12 @@ type Config struct {
 	// the engine falls back to checkpoint-restart (values < 2 mean 2, the
 	// engine's floor of Nature plus one worker).
 	MinRanks int
+	// Metrics enables the observability layer: per-rank phase timers in
+	// both engines and per-rank communication accounting in the parallel
+	// one, aggregated into Result.Metrics at run end. Collection never
+	// feeds back into the trajectory — parity and bit-exactness hold with
+	// it on or off (see docs/OBSERVABILITY.md).
+	Metrics bool
 }
 
 // Observer receives per-generation callbacks from the Nature Agent.

@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// TestParallelMetricsParity: collection must not perturb the trajectory —
+// a metrics-enabled parallel run matches the metrics-free sequential
+// reference bit for bit, and the aggregate covers every rank and phase.
+func TestParallelMetricsParity(t *testing.T) {
+	cfg := testConfig(1, 10, 40)
+	cfg.Seed = 301
+	seq, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := cfg
+	mcfg.Metrics = true
+	const ranks = 4
+	par, err := RunParallel(mcfg, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameTrajectory(t, seq, par)
+
+	m := par.Metrics
+	if m == nil {
+		t.Fatal("Metrics nil with Config.Metrics set")
+	}
+	if len(m.Phases) != ranks {
+		t.Fatalf("phase snapshots for %d ranks, want %d", len(m.Phases), ranks)
+	}
+	for i, rs := range m.Phases {
+		if rs.Rank != i {
+			t.Errorf("phase snapshot %d has rank %d", i, rs.Rank)
+		}
+	}
+	// Every worker played games each generation and saw every broadcast.
+	for _, rs := range m.Phases[1:] {
+		byPhase := map[string]PhaseStat{}
+		for _, p := range rs.Phases {
+			byPhase[p.Phase] = p
+		}
+		if got := byPhase[PhaseGamePlay].Calls; got != uint64(cfg.Generations) {
+			t.Errorf("rank %d: %d game_play calls, want %d", rs.Rank, got, cfg.Generations)
+		}
+		if got := byPhase[PhaseBroadcast].Calls; got != uint64(2*cfg.Generations) {
+			t.Errorf("rank %d: %d broadcast calls, want %d", rs.Rank, got, 2*cfg.Generations)
+		}
+	}
+	if len(m.Comm) != ranks {
+		t.Fatalf("comm snapshots for %d ranks, want %d", len(m.Comm), ranks)
+	}
+	if m.Comm[0].SentMsgs == 0 || m.Comm[1].RecvMsgs == 0 {
+		t.Error("comm accounting empty")
+	}
+	compute, comm, _ := m.ComputeCommSplit()
+	if compute <= 0 || comm <= 0 {
+		t.Errorf("compute/comm split = %v/%v, want both positive", compute, comm)
+	}
+}
+
+// TestSequentialMetrics: the reference engine records its phases too.
+func TestSequentialMetrics(t *testing.T) {
+	cfg := testConfig(1, 8, 25)
+	cfg.Seed = 302
+	cfg.Metrics = true
+	res, err := RunSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil || len(res.Metrics.Phases) != 1 {
+		t.Fatalf("sequential metrics = %+v, want one rank", res.Metrics)
+	}
+	byPhase := map[string]PhaseStat{}
+	for _, p := range res.Metrics.Phases[0].Phases {
+		byPhase[p.Phase] = p
+	}
+	if byPhase[PhaseGamePlay].Calls != uint64(cfg.Generations) {
+		t.Errorf("game_play calls = %d, want %d", byPhase[PhaseGamePlay].Calls, cfg.Generations)
+	}
+	if byPhase[PhaseNatureStep].Calls != uint64(cfg.Generations) {
+		t.Errorf("nature_step calls = %d, want %d", byPhase[PhaseNatureStep].Calls, cfg.Generations)
+	}
+}
+
+// TestMetricsRegistryDeterminism: two same-seed runs export byte-identical
+// deterministic snapshots — the acceptance contract for -metrics output.
+func TestMetricsRegistryDeterminism(t *testing.T) {
+	run := func() []byte {
+		cfg := testConfig(1, 9, 30)
+		cfg.Seed = 303
+		cfg.Metrics = true
+		res, err := RunParallel(cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := metrics.WriteJSON(&buf, res.MetricsRegistry().Snapshot().Deterministic()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic snapshots differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if len(a) == 0 || !bytes.Contains(a, []byte("egd_games_played_total")) {
+		t.Fatalf("snapshot missing expected series: %s", a)
+	}
+}
+
+// TestMetricsRegistryExportsCommSeries: the registry carries per-rank,
+// per-tag comm counters under the documented names.
+func TestMetricsRegistryExportsCommSeries(t *testing.T) {
+	cfg := testConfig(1, 8, 20)
+	cfg.Seed = 304
+	cfg.Metrics = true
+	res, err := RunParallel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.MetricsRegistry().Snapshot()
+	names := map[string]bool{}
+	for _, c := range snap.Counters {
+		names[c.Name] = true
+	}
+	for _, g := range snap.Gauges {
+		names[g.Name] = true
+	}
+	for _, want := range []string{
+		`egd_comm_sent_messages_total{rank="0",tag="coll_bcast"}`,
+		`egd_comm_recv_bytes_total{rank="1",tag="coll_bcast"}`,
+		`egd_comm_collective_calls_total{op="bcast",rank="1"}`,
+		`egd_phase_calls_total{phase="game_play",rank="1"}`,
+		`egd_phase_nanos{phase="broadcast",rank="0"}`,
+	} {
+		if !names[want] {
+			t.Errorf("snapshot missing %s", want)
+		}
+	}
+}
+
+// TestMetricsOffByDefault: no aggregate, no registry, nothing gathered.
+func TestMetricsOffByDefault(t *testing.T) {
+	cfg := testConfig(1, 6, 10)
+	cfg.Seed = 305
+	res, err := RunParallel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics != nil {
+		t.Fatalf("Metrics = %+v without Config.Metrics", res.Metrics)
+	}
+	if res.MetricsRegistry() != nil {
+		t.Fatal("MetricsRegistry non-nil without Config.Metrics")
+	}
+}
+
+// TestMetricsEventLogged: the engine appends one EventMetrics trace event.
+func TestMetricsEventLogged(t *testing.T) {
+	cfg := testConfig(1, 6, 10)
+	cfg.Seed = 306
+	cfg.Metrics = true
+	cfg.EventLog = trace.NewEventLog()
+	if _, err := RunParallel(cfg, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n := cfg.EventLog.Count(trace.EventMetrics); n != 1 {
+		t.Fatalf("logged %d metrics events, want 1", n)
+	}
+}
+
+// TestMetricsWithEviction: collection composes with live eviction — the
+// evicted rank keeps its comm accounting (original-rank identity), and the
+// survivors' phase snapshots still arrive.
+func TestMetricsWithEviction(t *testing.T) {
+	cfg := evictConfig(testConfig(1, 8, 200))
+	cfg.Seed = 307
+	cfg.Metrics = true
+	cfg.FullRecompute = true
+	cfg.FaultPlan = mpi.NewFaultPlan().Kill(2, 60)
+	res, err := RunParallel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", res.Evictions)
+	}
+	if len(res.Metrics.Comm) != 4 {
+		t.Fatalf("comm snapshots = %d, want 4 (original ranks)", len(res.Metrics.Comm))
+	}
+	if !res.Metrics.Comm[2].Evicted {
+		t.Error("evicted rank not flagged in comm snapshot")
+	}
+	if res.Metrics.Comm[2].SentMsgs == 0 {
+		t.Error("evicted rank's pre-death traffic lost")
+	}
+	// Phase snapshots: survivors only (the dead goroutine's timer is gone).
+	if len(res.Metrics.Phases) != 3 {
+		t.Fatalf("phase snapshots = %d, want 3 survivors", len(res.Metrics.Phases))
+	}
+	for _, rs := range res.Metrics.Phases {
+		if rs.Rank == 2 {
+			t.Error("evicted rank reported a phase snapshot")
+		}
+	}
+}

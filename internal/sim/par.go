@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/game"
@@ -188,6 +189,9 @@ func RunParallel(cfg Config, ranks int) (*Result, error) {
 	}
 
 	world := mpi.NewWorld(ranks)
+	if cfg.Metrics {
+		world.EnableMetrics()
+	}
 	if cfg.FaultPlan != nil {
 		world.InstallFaultPlan(cfg.FaultPlan)
 	}
@@ -216,6 +220,15 @@ func RunParallel(cfg Config, ranks int) (*Result, error) {
 	result.Elapsed = time.Since(start) //egdlint:allow determinism elapsed-time metadata, not part of the trajectory
 	result.Evictions = len(world.Evictions())
 	result.Ranks = ranks - result.Evictions
+	if cfg.Metrics && result.Metrics != nil {
+		result.Metrics.Comm = world.CommMetricsSnapshot()
+		if cfg.EventLog != nil {
+			stats := world.Stats()
+			cfg.EventLog.Append(trace.Event{Kind: trace.EventMetrics, Generation: cfg.StartGeneration + cfg.Generations, Rank: -1,
+				Detail: fmt.Sprintf("games=%d p2p_msgs=%d p2p_bytes=%d collectives=%d",
+					result.Counters.GamesPlayed, stats.PointToPointMessages, stats.PointToPointBytes, stats.CollectiveOps)})
+		}
+	}
 	return result, nil
 }
 
@@ -260,6 +273,10 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 	var crossCheck uint64
 	var snap natureSnap
 	seenEvictions := 0
+	var pt *phaseTimer
+	if cfg.Metrics {
+		pt = newPhaseTimer()
+	}
 
 	logEvent := func(e trace.Event) {
 		if cfg.EventLog != nil {
@@ -337,9 +354,11 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 
 		// Announce the PC selection to all ranks (collective network).
 		sel := selection{PC: d.pc, Teacher: d.teacher, Learner: d.learner}
+		tb := pt.begin()
 		if _, err := c.Bcast(0, sel); err != nil {
 			return err
 		}
+		pt.end(PhaseBroadcast, tb)
 
 		var u update
 		if d.pc {
@@ -347,6 +366,7 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 			// The owners return the selected SSets' payoff segments
 			// point-to-point (torus network in the paper); teacher first,
 			// then learner, in segment order.
+			tf := pt.begin()
 			piT, err := recvFitness(c, d.teacher)
 			if err != nil {
 				return err
@@ -355,6 +375,7 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 			if err != nil {
 				return err
 			}
+			pt.end(PhaseFitnessComm, tf)
 			if resolveAdoption(&cfg, master, gen, piT, piL) {
 				pop.Adopt(d.learner, d.teacher)
 				u.Adopted = true
@@ -374,16 +395,20 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		u.MeanFitnessWanted = gen%cfg.SampleStride == 0
 
 		// Broadcast the global strategy update (collective network).
+		tb = pt.begin()
 		if _, err := c.Bcast(0, u); err != nil {
 			return err
 		}
+		pt.end(PhaseBroadcast, tb)
 
 		if u.MeanFitnessWanted {
 			// Join the workers' payoff reduction; Nature contributes 0.
+			tr := pt.begin()
 			total, err := c.Reduce(0, 0, mpi.OpSum)
 			if err != nil {
 				return err
 			}
+			pt.end(PhaseReduce, tr)
 			res.MeanFitness.Observe(gen, total/float64(s*(s-1)))
 			res.Cooperation.Observe(gen, pop.MeanCooperationProb())
 		}
@@ -393,9 +418,11 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		// Checkpoint on absolute generation numbers, so a resumed run keeps
 		// the original cadence instead of one phase-shifted by the restart.
 		if cfg.CheckpointEvery > 0 && (gen+1)%cfg.CheckpointEvery == 0 {
+			tc := pt.begin()
 			if err := saveSnapshot(&cfg, pop, gen+1, res.Counters); err != nil {
 				return err
 			}
+			pt.end(PhaseCheckpoint, tc)
 			logEvent(trace.Event{Kind: trace.EventCheckpoint, Generation: gen + 1, Rank: 0})
 		}
 		return nil
@@ -413,6 +440,7 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		// the sequential engine's order.
 		nWorkers := c.Size() - 1
 		flat := make([]float64, s*(s-1))
+		tf := pt.begin()
 		for w := 0; w < nWorkers; w++ {
 			msg, err := c.Recv(1+w, tagRows)
 			if err != nil {
@@ -421,6 +449,7 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 			lo, _ := blockRange(s*(s-1), nWorkers, w)
 			copy(flat[lo:], msg.Payload.([]float64))
 		}
+		pt.end(PhaseFitnessComm, tf)
 		fitness := make([]float64, s)
 		for i := 0; i < s; i++ {
 			total := 0.0
@@ -432,13 +461,31 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		// The workers' reduced game count cross-checks Nature's scheduled
 		// tally: both sides evaluate the same refresh predicate over the
 		// same window, so any divergence means the global views drifted.
+		tr := pt.begin()
 		games, err := c.Reduce(0, 0, mpi.OpSum)
 		if err != nil {
 			return err
 		}
+		pt.end(PhaseReduce, tr)
 		if uint64(games) != crossCheck {
 			return fmt.Errorf("sim: workers played %d games since the last synchronisation, Nature scheduled %d — global views diverged",
 				uint64(games), crossCheck)
+		}
+		// Collect every rank's phase timings. Gated on Metrics so the
+		// collective-operation counters existing fault scripts key on are
+		// unchanged when observability is off; symmetric with the workers'
+		// finalize.
+		if cfg.Metrics {
+			snapsAny, err := c.Gather(0, pt.snapshot(c.OrigRank()))
+			if err != nil {
+				return err
+			}
+			rm := &RunMetrics{}
+			for _, a := range snapsAny {
+				rm.Phases = append(rm.Phases, a.(RankPhaseSnapshot))
+			}
+			sort.Slice(rm.Phases, func(i, j int) bool { return rm.Phases[i].Rank < rm.Phases[j].Rank })
+			res.Metrics = rm
 		}
 		// In eviction mode a final barrier keeps workers resident until
 		// Nature has everything, so a late failure still finds every
@@ -567,6 +614,10 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 	// the next pass replays every owned pair from replayGen's streams.
 	pendingFull := false
 	replayGen := 0
+	var pt *phaseTimer
+	if cfg.Metrics {
+		pt = newPhaseTimer()
+	}
 
 	// refresh replays the owned pairs whose participants changed.
 	refresh := func(g int) {
@@ -602,24 +653,29 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 
 	oneGeneration := func(c *mpi.Comm) error {
 		// Game dynamics: replay this worker's pairs.
+		tg := pt.begin()
 		if pendingFull {
 			replayAll(replayGen)
 			pendingFull = false
 		} else {
 			refresh(gen)
 		}
+		pt.end(PhaseGamePlay, tg)
 		pop.clearDirty()
 
 		// Receive the PC selection.
+		tb := pt.begin()
 		selAny, err := c.Bcast(0, nil)
 		if err != nil {
 			return err
 		}
+		pt.end(PhaseBroadcast, tb)
 		sel := selAny.(selection)
 		if sel.PC {
 			// Owners of the selected rows return their segments; teacher
 			// before learner so Nature's ordered receives match when one
 			// worker owns pieces of both.
+			tf := pt.begin()
 			if seg := segment(sel.Teacher); seg != nil {
 				if err := c.Send(0, tagFitness, seg); err != nil {
 					return err
@@ -630,13 +686,16 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 					return err
 				}
 			}
+			pt.end(PhaseFitnessComm, tf)
 		}
 
 		// Apply the global strategy update.
+		tb = pt.begin()
 		uAny, err := c.Bcast(0, nil)
 		if err != nil {
 			return err
 		}
+		pt.end(PhaseBroadcast, tb)
 		u := uAny.(update)
 		if u.Adopted {
 			pop.Adopt(u.Learner, u.Teacher)
@@ -649,9 +708,11 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 			for _, v := range payoffs {
 				partial += v
 			}
+			tr := pt.begin()
 			if _, err := c.Reduce(0, partial, mpi.OpSum); err != nil {
 				return err
 			}
+			pt.end(PhaseReduce, tr)
 		}
 		return nil
 	}
@@ -660,17 +721,29 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 		// A resume directly into finalization still rebuilds the re-sharded
 		// block before shipping it.
 		if pendingFull {
+			tg := pt.begin()
 			replayAll(replayGen)
+			pt.end(PhaseGamePlay, tg)
 			pendingFull = false
 		}
 		// Ship the final payoff block and the game counter to Nature.
 		final := make([]float64, len(payoffs))
 		copy(final, payoffs)
+		tf := pt.begin()
 		if err := c.Send(0, tagRows, final); err != nil {
 			return err
 		}
+		pt.end(PhaseFitnessComm, tf)
+		tr := pt.begin()
 		if _, err := c.Reduce(0, float64(games), mpi.OpSum); err != nil {
 			return err
+		}
+		pt.end(PhaseReduce, tr)
+		// Ship the phase timings; mirrors Nature's metrics Gather.
+		if cfg.Metrics {
+			if _, err := c.Gather(0, pt.snapshot(c.OrigRank())); err != nil {
+				return err
+			}
 		}
 		// Mirror Nature's eviction-mode barrier: stay resident until every
 		// rank is done, so a late failure still finds a full survivor set.

@@ -39,6 +39,10 @@ type Result struct {
 	// Evictions is how many ranks were evicted live — failed and recovered
 	// from in flight, without a restart (Config.Evict).
 	Evictions int
+	// Metrics holds the run's observability aggregate (per-rank phase
+	// timings, and comm accounting for the parallel engine); nil unless
+	// Config.Metrics was set.
+	Metrics *RunMetrics
 }
 
 // FinalAbundance tallies the final population's strategy abundance.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/game"
@@ -26,14 +27,22 @@ func RunSequential(cfg Config) (*Result, error) {
 	res := &Result{Ranks: 1, Counters: cfg.BaseCounters}
 	res.MeanFitness, _ = stats.NewSeries(cfg.SampleStride)
 	res.Cooperation, _ = stats.NewSeries(cfg.SampleStride)
+	var pt *phaseTimer
+	if cfg.Metrics {
+		pt = newPhaseTimer()
+	}
 
 	for gen := cfg.StartGeneration; gen < cfg.StartGeneration+cfg.Generations; gen++ {
 		// Game dynamics: bring every SSet's payoff row up to date.
+		tg := pt.begin()
 		res.Counters.GamesPlayed += refreshPayoffs(&cfg, pop, master, eng, gen, 0, pop.Size())
+		pt.end(PhaseGamePlay, tg)
 		pop.clearDirty()
 
 		// Population dynamics: the Nature Agent's step.
+		tn := pt.begin()
 		ev := natureStep(&cfg, pop, master, gen, &res.Counters)
+		pt.end(PhaseNatureStep, tn)
 
 		res.MeanFitness.Observe(gen, pop.MeanFitness())
 		res.Cooperation.Observe(gen, pop.MeanCooperationProb())
@@ -43,9 +52,11 @@ func RunSequential(cfg Config) (*Result, error) {
 		// Same absolute-generation checkpoint cadence as the parallel
 		// engine, so sequential and parallel runs write identical snapshots.
 		if cfg.CheckpointEvery > 0 && (gen+1)%cfg.CheckpointEvery == 0 {
+			tc := pt.begin()
 			if err := saveSnapshot(&cfg, pop, gen+1, res.Counters); err != nil {
 				return nil, err
 			}
+			pt.end(PhaseCheckpoint, tc)
 			if cfg.EventLog != nil {
 				cfg.EventLog.Append(trace.Event{Kind: trace.EventCheckpoint, Generation: gen + 1, Rank: 0})
 			}
@@ -55,6 +66,14 @@ func RunSequential(cfg Config) (*Result, error) {
 	res.Final = pop.Snapshot()
 	res.FinalFitness = pop.Fitnesses()
 	res.Elapsed = time.Since(start) //egdlint:allow determinism elapsed-time metadata, not part of the trajectory
+	if cfg.Metrics {
+		res.Metrics = &RunMetrics{Phases: []RankPhaseSnapshot{pt.snapshot(0)}}
+		if cfg.EventLog != nil {
+			cfg.EventLog.Append(trace.Event{Kind: trace.EventMetrics,
+				Generation: cfg.StartGeneration + cfg.Generations, Rank: 0,
+				Detail: fmt.Sprintf("games=%d", res.Counters.GamesPlayed)})
+		}
+	}
 	return res, nil
 }
 

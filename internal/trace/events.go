@@ -28,6 +28,9 @@ const (
 	// died, or survivors fell below the configured floor); the run falls
 	// back to checkpoint-restart.
 	EventEvictionFailed EventKind = "eviction_failed"
+	// EventMetrics: the engine aggregated the run's observability metrics
+	// (Config.Metrics); Detail carries a deterministic one-line summary.
+	EventMetrics EventKind = "metrics"
 )
 
 // Event is one fault-tolerance occurrence on a run's timeline.
