@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race strict fuzz bench check clean
+.PHONY: all build test vet lint race strict fuzz bench chaos check clean
 
 all: build test
 
@@ -34,7 +34,15 @@ strict:
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
 	$(GO) test -fuzz=FuzzParseFault -fuzztime=10s ./internal/mpi
+	$(GO) test -fuzz=FuzzWireFrame -fuzztime=10s ./internal/mpi
 	$(GO) test -fuzz=FuzzParseCSV -fuzztime=10s ./internal/trace
+
+# Multi-process chaos smoke: egdrun spawns a real worker fleet over unix
+# sockets, runs a seeded config fault-free, then reruns it with one worker
+# SIGKILLed and one SIGSTOPped mid-run, and asserts the deterministic
+# summary lines are byte-identical (see scripts/chaos_smoke.sh).
+chaos:
+	./scripts/chaos_smoke.sh
 
 # Single-iteration sweep of the paper-artefact benchmarks (bench_test.go)
 # with allocation stats, streamed as test2json records to BENCH_5.json —

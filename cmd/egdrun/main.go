@@ -1,0 +1,393 @@
+// Command egdrun launches a multi-process simulation: one worker process
+// per rank, wired into a full mesh over unix sockets (default) or TCP by
+// the mpi wire transport. Rank 0 hosts the Nature Agent and prints the
+// deterministic run summary; egdrun itself supervises the fleet,
+// attributes every worker's exit status, and — via the chaos flags — doses
+// workers with real SIGKILL/SIGSTOP mid-run to exercise live eviction the
+// way an unplugged node would.
+//
+// Examples:
+//
+//	egdrun -np 4 -ssets 32 -gens 2000
+//	egdrun -np 4 -tcp 127.0.0.1:7700 -ssets 32 -gens 2000
+//	egdrun -np 4 -evict -full -ssets 16 -gens 600 -chaos-kill 2@500ms
+//	egdrun -np 4 -evict -full -chaos-stop 3@1s:2s   # SIGSTOP, 2s later SIGCONT
+//
+// A chaos-targeted worker is expected to die (or to discover its eviction
+// and exit with an error); egdrun succeeds when rank 0 completes and every
+// non-targeted worker exits cleanly.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/strategy"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "egdrun:", err)
+		os.Exit(1)
+	}
+}
+
+// chaosSpec is one scripted process-level fault: signal rank after delay,
+// and (for SIGSTOP) resume it pause later.
+type chaosSpec struct {
+	rank  int
+	delay time.Duration
+	pause time.Duration // stop specs only: SIGCONT after this much frozen time
+	stop  bool
+}
+
+// parseChaos parses "rank@delay" (kill) or "rank@delay:pause" (stop).
+func parseChaos(spec string, stop bool) (chaosSpec, error) {
+	cs := chaosSpec{stop: stop}
+	rankStr, rest, ok := strings.Cut(spec, "@")
+	if !ok {
+		return cs, fmt.Errorf("chaos spec %q: want rank@delay", spec)
+	}
+	var err error
+	if cs.rank, err = strconv.Atoi(rankStr); err != nil {
+		return cs, fmt.Errorf("chaos spec %q: bad rank: %v", spec, err)
+	}
+	delayStr := rest
+	if stop {
+		var pauseStr string
+		if delayStr, pauseStr, ok = strings.Cut(rest, ":"); ok {
+			if cs.pause, err = time.ParseDuration(pauseStr); err != nil {
+				return cs, fmt.Errorf("chaos spec %q: bad pause: %v", spec, err)
+			}
+		} else {
+			cs.pause = 2 * time.Second
+		}
+	}
+	if cs.delay, err = time.ParseDuration(delayStr); err != nil {
+		return cs, fmt.Errorf("chaos spec %q: bad delay: %v", spec, err)
+	}
+	return cs, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("egdrun", flag.ContinueOnError)
+	var (
+		np      = fs.Int("np", 0, "number of worker processes (ranks); >= 2")
+		sockDir = fs.String("sock", "", "unix-socket directory for the rank mesh (default: a temp dir)")
+		tcpBase = fs.String("tcp", "", "use TCP instead of unix sockets: host:basePort (rank i listens on basePort+i)")
+		timeout = fs.Duration("timeout", 10*time.Minute, "kill the fleet and fail if the run exceeds this")
+
+		chaosKill = fs.String("chaos-kill", "", "SIGKILL specs 'rank@delay', comma-separated (requires -evict)")
+		chaosStop = fs.String("chaos-stop", "", "SIGSTOP specs 'rank@delay:pause', comma-separated (requires -evict)")
+
+		// Worker-process plumbing (internal; set by the launcher).
+		worker = fs.Bool("worker", false, "internal: run as a single-rank worker process")
+		rank   = fs.Int("rank", -1, "internal: this worker's rank")
+		addrs  = fs.String("addrs", "", "internal: comma-separated rank addresses")
+		netw   = fs.String("net", "unix", "internal: mesh network (unix or tcp)")
+		job    = fs.String("job", "", "internal: job id shared by the fleet")
+
+		// Simulation parameters (forwarded to every worker).
+		memory   = fs.Int("memory", 1, "strategy memory depth n in [1,6]")
+		ssets    = fs.Int("ssets", 64, "number of Strategy Sets")
+		gens     = fs.Int("gens", 1000, "generations to simulate")
+		rounds   = fs.Int("rounds", 200, "IPD rounds per match")
+		seed     = fs.Uint64("seed", 1, "master random seed")
+		mixed    = fs.Bool("mixed", false, "evolve probabilistic (mixed) strategies")
+		full     = fs.Bool("full", false, "recompute all fitness every generation (paper timing mode)")
+		evict    = fs.Bool("evict", false, "live rank eviction: heartbeat detection, communicator shrink")
+		hbEvery  = fs.Duration("heartbeat-every", 0, "liveness tick interval for -evict (0 = engine default)")
+		hbMisses = fs.Int("heartbeat-misses", 0, "missed ticks before -evict declares a rank dead (0 = engine default)")
+		deadline = fs.Duration("worker-timeout", 0, "receive deadline turning a stalled rank into a detectable failure")
+		inject   = fs.String("inject-fault", "", "scripted fault specs, ';'-separated (see internal/mpi.ParseFault)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := sim.DefaultConfig(*memory, *ssets)
+	cfg.Generations = *gens
+	cfg.Rules.Rounds = *rounds
+	cfg.Seed = *seed
+	if *mixed {
+		cfg.Kind = sim.MixedStrategies
+	}
+	cfg.FullRecompute = *full
+	cfg.Evict = *evict
+	cfg.HeartbeatEvery = *hbEvery
+	cfg.HeartbeatMisses = *hbMisses
+	cfg.RecvTimeout = *deadline
+	if *inject != "" {
+		plan := mpi.NewFaultPlan()
+		for _, spec := range strings.Split(*inject, ";") {
+			if spec = strings.TrimSpace(spec); spec == "" {
+				continue
+			}
+			f, err := mpi.ParseFault(spec)
+			if err != nil {
+				return err
+			}
+			plan.Add(f)
+		}
+		cfg.FaultPlan = plan
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	if *worker {
+		return runWorker(cfg, *rank, strings.Split(*addrs, ","), *netw, *job, out)
+	}
+
+	if *np < 2 {
+		return fmt.Errorf("-np must be >= 2 (Nature + workers), got %d", *np)
+	}
+	var chaos []chaosSpec
+	for _, spec := range splitSpecs(*chaosKill) {
+		cs, err := parseChaos(spec, false)
+		if err != nil {
+			return err
+		}
+		chaos = append(chaos, cs)
+	}
+	for _, spec := range splitSpecs(*chaosStop) {
+		cs, err := parseChaos(spec, true)
+		if err != nil {
+			return err
+		}
+		chaos = append(chaos, cs)
+	}
+	for _, cs := range chaos {
+		if cs.rank <= 0 || cs.rank >= *np {
+			return fmt.Errorf("chaos target rank %d out of worker range [1,%d)", cs.rank, *np)
+		}
+		if !*evict {
+			return fmt.Errorf("chaos flags need -evict (live recovery) to make sense")
+		}
+	}
+	return launch(fs, *np, *sockDir, *tcpBase, *timeout, chaos, out)
+}
+
+func splitSpecs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// launcherOnly names the flags that steer the launcher itself and must not
+// be forwarded to worker processes.
+var launcherOnly = map[string]bool{
+	"np": true, "sock": true, "tcp": true, "timeout": true,
+	"chaos-kill": true, "chaos-stop": true,
+	"worker": true, "rank": true, "addrs": true, "net": true, "job": true,
+}
+
+// launch spawns one worker process per rank, runs the chaos schedule, and
+// attributes every exit. Success requires rank 0 to complete and every
+// non-targeted worker to exit 0.
+func launch(fs *flag.FlagSet, np int, sockDir, tcpBase string, timeout time.Duration, chaos []chaosSpec, out io.Writer) error {
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locate own binary: %w", err)
+	}
+	network := "unix"
+	addrs := make([]string, np)
+	switch {
+	case tcpBase != "":
+		network = "tcp"
+		host, portStr, ok := strings.Cut(tcpBase, ":")
+		if !ok {
+			return fmt.Errorf("-tcp %q: want host:basePort", tcpBase)
+		}
+		base, err := strconv.Atoi(portStr)
+		if err != nil {
+			return fmt.Errorf("-tcp %q: bad base port: %v", tcpBase, err)
+		}
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("%s:%d", host, base+i)
+		}
+	default:
+		dir := sockDir
+		if dir == "" {
+			if dir, err = os.MkdirTemp("", "egdrun-*"); err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		for i := range addrs {
+			addrs[i] = filepath.Join(dir, fmt.Sprintf("rank-%d.sock", i))
+		}
+	}
+
+	// Forward exactly the sim flags the user set; the mesh plumbing is ours.
+	var fwd []string
+	fs.Visit(func(f *flag.Flag) {
+		if !launcherOnly[f.Name] {
+			fwd = append(fwd, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	jobID := fmt.Sprintf("egdrun-%d-%d", os.Getpid(), time.Now().UnixNano())
+
+	cmds := make([]*exec.Cmd, np)
+	for i := 0; i < np; i++ {
+		args := append([]string{
+			"-worker", "-rank", strconv.Itoa(i),
+			"-net", network, "-addrs", strings.Join(addrs, ","), "-job", jobID,
+		}, fwd...)
+		cmd := exec.Command(self, args...)
+		cmd.Stderr = os.Stderr
+		if i == 0 {
+			cmd.Stdout = out // the Nature rank owns the summary
+		}
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds[:i] {
+				c.Process.Kill()
+			}
+			return fmt.Errorf("spawn rank %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+
+	targeted := make(map[int]bool)
+	for _, cs := range chaos {
+		targeted[cs.rank] = true
+		cs := cs
+		time.AfterFunc(cs.delay, func() {
+			sig, name := syscall.SIGKILL, "SIGKILL"
+			if cs.stop {
+				sig, name = syscall.SIGSTOP, "SIGSTOP"
+			}
+			fmt.Fprintf(os.Stderr, "egdrun: chaos: rank %d <- %s\n", cs.rank, name)
+			cmds[cs.rank].Process.Signal(sig)
+			if cs.stop {
+				time.AfterFunc(cs.pause, func() {
+					fmt.Fprintf(os.Stderr, "egdrun: chaos: rank %d <- SIGCONT\n", cs.rank)
+					cmds[cs.rank].Process.Signal(syscall.SIGCONT)
+				})
+			}
+		})
+	}
+
+	type exit struct {
+		rank int
+		err  error
+	}
+	done := make(chan exit, np)
+	for i, cmd := range cmds {
+		go func(rank int, cmd *exec.Cmd) { done <- exit{rank, cmd.Wait()} }(i, cmd)
+	}
+	exits := make(map[int]error, np)
+	watchdog := time.After(timeout)
+	for len(exits) < np {
+		select {
+		case e := <-done:
+			exits[e.rank] = e.err
+		case <-watchdog:
+			for _, cmd := range cmds {
+				cmd.Process.Kill()
+			}
+			return fmt.Errorf("fleet did not finish within %v", timeout)
+		}
+	}
+
+	failed := 0
+	for i := 0; i < np; i++ {
+		status := describeExit(cmds[i])
+		switch {
+		case exits[i] == nil:
+			fmt.Fprintf(os.Stderr, "egdrun: rank %d: %s\n", i, status)
+		case targeted[i]:
+			fmt.Fprintf(os.Stderr, "egdrun: rank %d: %s (chaos target)\n", i, status)
+		default:
+			fmt.Fprintf(os.Stderr, "egdrun: rank %d: %s\n", i, status)
+			failed++
+		}
+	}
+	if exits[0] != nil {
+		return fmt.Errorf("rank 0 (Nature) failed: %s", describeExit(cmds[0]))
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d non-targeted worker(s) failed", failed)
+	}
+	return nil
+}
+
+// describeExit renders a finished worker's wait status, distinguishing
+// clean exits, error exits, and signal deaths.
+func describeExit(cmd *exec.Cmd) string {
+	ps := cmd.ProcessState
+	if ps == nil {
+		return "no status"
+	}
+	if ws, ok := ps.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+		return fmt.Sprintf("killed by signal %d (%v)", int(ws.Signal()), ws.Signal())
+	}
+	if code := ps.ExitCode(); code != 0 {
+		return fmt.Sprintf("exit %d", code)
+	}
+	return "exit 0"
+}
+
+// runWorker hosts one rank of the mesh: transport up, simulation through
+// sim.RunWorker, and (on the Nature rank) the deterministic summary.
+func runWorker(cfg sim.Config, rank int, addrs []string, network, job string, out io.Writer) error {
+	if rank < 0 || rank >= len(addrs) {
+		return fmt.Errorf("worker rank %d outside %d addresses", rank, len(addrs))
+	}
+	tr, err := mpi.NewNetTransport(mpi.NetConfig{
+		Self:    rank,
+		Size:    len(addrs),
+		Network: network,
+		Addrs:   addrs,
+		Job:     job,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunWorker(cfg, tr)
+	if err != nil {
+		return fmt.Errorf("rank %d: %w", rank, err)
+	}
+	if res != nil {
+		printSummary(out, cfg, res)
+	}
+	return nil
+}
+
+// printSummary writes the run summary. Every line except "run:" is a pure
+// function of the trajectory, so fault-free and chaos runs of the same
+// seeded config diff clean on them (the CI smoke relies on this; use -full
+// so eviction replay does not inflate GamesPlayed).
+func printSummary(out io.Writer, cfg sim.Config, res *sim.Result) {
+	fmt.Fprintf(out, "run: %d ranks finish, %d evictions, %.2fs\n",
+		res.Ranks, res.Evictions, res.Elapsed.Seconds())
+	fmt.Fprintf(out, "work: %d games, %d PC events, %d adoptions, %d mutations\n",
+		res.Counters.GamesPlayed, res.Counters.PCEvents, res.Counters.Adoptions, res.Counters.Mutations)
+	if g, v, ok := res.MeanFitness.Last(); ok {
+		fmt.Fprintf(out, "final mean fitness (gen %d): %.4f  [1=all-defect .. 3=full cooperation]\n", g, v)
+	}
+	if g, v, ok := res.Cooperation.Last(); ok {
+		fmt.Fprintf(out, "final cooperation probability (gen %d): %.4f\n", g, v)
+	}
+	sp := strategy.NewSpace(cfg.Memory)
+	fmt.Fprintf(out, "WSLS fraction: %.3f\n", res.FractionNear(strategy.WSLS(sp)))
+	fmt.Fprintf(out, "distinct strategies: %d of %d SSets\n", res.FinalAbundance().Distinct(), cfg.NumSSets)
+}

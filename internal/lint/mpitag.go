@@ -3,7 +3,9 @@ package lint
 import (
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
+	"sort"
 )
 
 // reservedTagBase mirrors mpi.internalTagBase: tags at or above it are
@@ -20,11 +22,12 @@ const reservedTagBase = 1 << 30
 // The mpi package's own wildcards (AnyTag, AnySource) are exempt.
 var MPITag = &Analyzer{
 	Name: "mpitag",
-	Doc:  "user tags must be named constants inside [0, 1<<30); no magic int literals",
+	Doc:  "user tags must be named constants inside [0, 1<<30); no magic int literals; wire frame kinds unique and in-range",
 	Run:  runMPITag,
 }
 
 func runMPITag(pass *Pass) error {
+	checkWireKinds(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -84,4 +87,71 @@ func constProvenance(pass *Pass, e ast.Expr) (mpiConst, namedConst bool) {
 		return true
 	})
 	return mpiConst, namedConst
+}
+
+// checkWireKinds audits the wire protocol's frame-kind constants (the
+// mpi transport's `frameKind` enum). Frame kinds are wire-format bytes:
+// each must be unique (a collision silently misroutes frames on the
+// receiving side), nonzero (0 is the decoder's "invalid" reserve), and
+// the `frameKindEnd` sentinel — the decoder's upper bound — must sit
+// exactly one past the highest kind, or newly added kinds would be
+// rejected on the wire while still being sent.
+func checkWireKinds(pass *Pass) {
+	type kindConst struct {
+		name string
+		val  int64
+		pos  token.Pos
+	}
+	var kinds []kindConst
+	var end *kindConst
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "frameKind" {
+			continue
+		}
+		v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+		if !exact {
+			continue
+		}
+		kc := kindConst{name: name, val: v, pos: c.Pos()}
+		if name == "frameKindEnd" {
+			end = &kc
+		} else {
+			kinds = append(kinds, kc)
+		}
+	}
+	if len(kinds) == 0 {
+		return
+	}
+	// Report in declaration order, attributing a collision to the later
+	// declaration (the earlier one owned the value first).
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].pos < kinds[j].pos })
+	first := make(map[int64]string)
+	var max int64
+	for _, k := range kinds {
+		if k.val == 0 {
+			pass.Reportf(k.pos, "wire frame kind %s has value 0 (reserved for \"invalid\" on the wire)", k.name)
+			continue
+		}
+		if k.val > 255 {
+			pass.Reportf(k.pos, "wire frame kind %s value %d does not fit the protocol's uint8 kind byte", k.name, k.val)
+			continue
+		}
+		if owner, dup := first[k.val]; dup {
+			pass.Reportf(k.pos, "wire frame kind %s duplicates value %d of %s", k.name, k.val, owner)
+			continue
+		}
+		first[k.val] = k.name
+		if k.val > max {
+			max = k.val
+		}
+	}
+	if end != nil && end.val != max+1 {
+		pass.Reportf(end.pos, "frameKindEnd is %d, want %d (one past the highest wire frame kind)", end.val, max+1)
+	}
 }

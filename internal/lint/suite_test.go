@@ -34,7 +34,7 @@ func TestMPICollective(t *testing.T) {
 
 func TestMPITag(t *testing.T) {
 	needGo(t)
-	linttest.Run(t, lint.MPITag, "tag")
+	linttest.Run(t, lint.MPITag, "tag", "wirekind")
 }
 
 func TestPkgDoc(t *testing.T) {

@@ -218,6 +218,7 @@ func (w *World) markFailed(orig int, cause error) {
 			sub.revokeWith(rf)
 		}
 	}
+	w.netAgreeKick()
 }
 
 // revokeWith marks this communicator revoked on behalf of the failed rank
@@ -308,6 +309,9 @@ func (c *Comm) Agree() ([]int, error) {
 func (w *World) agree(orig int) ([]int, error) {
 	if !w.evict {
 		return nil, errors.New("mpi: Agree needs EnableEviction")
+	}
+	if w.self >= 0 {
+		return w.agreeNet(orig)
 	}
 	w.emu.Lock()
 	defer w.emu.Unlock()
@@ -402,7 +406,18 @@ func (w *World) Shrink(survivors []int) (*World, error) {
 	}
 	root.subs[key] = sub
 	root.worlds = append(root.worlds, sub)
+	// Wire frames that raced ahead of this Shrink land now, inside the
+	// registry lock, so they order before anything routed afterwards.
+	root.flushPendingWire(key, sub)
 	root.wmu.Unlock()
+	// A Shrink racing past the end of Run builds a world no send can ever
+	// reach: finish its inboxes immediately so a receive on it fails fast
+	// with ErrShutdown instead of hanging until the receive deadline.
+	if root.shut.Load() {
+		for _, ib := range sub.boxes {
+			ib.finish(ErrShutdown)
+		}
+	}
 	// Close the race with a markFailed that snapshotted the registry before
 	// this sub-world was registered: re-check every member now that the
 	// registry holds it.
@@ -453,4 +468,184 @@ func (c *Comm) Group() []int {
 		return g
 	}
 	return append([]int(nil), c.world.orig...)
+}
+
+// Distributed agreement. On a networked world the shared-memory rendezvous
+// above is unavailable, so Agree is coordinated by rank 0: every survivor
+// announces its arrival at its next round over the wire (frameAgree), rank
+// 0 resolves the round once every root-world rank is accounted for —
+// arrived, exited (goodbye received), or declared failed — and replies
+// with the surviving-rank set (frameAgreeResult). Rounds align by call
+// count exactly as in the in-process protocol. Rank 0 is a single point of
+// coordination; if it dies, workers fail their Agree with its
+// *RankFailedError and the application falls back to checkpoint-restart —
+// the same degradation the engine already takes when Nature dies.
+
+// netAgreeRound is one wire-coordinated agreement round at rank 0.
+type netAgreeRound struct {
+	arrived map[int]bool
+	replied map[int]bool
+	result  []int
+}
+
+// agreeNet runs one agreement round from the hosted rank's side.
+func (w *World) agreeNet(orig int) ([]int, error) {
+	nt, ok := w.tr.(*NetTransport)
+	if !ok {
+		return nil, errors.New("mpi: networked Agree without a NetTransport")
+	}
+	w.emu.Lock()
+	if rf := w.failedP[orig].Load(); rf != nil {
+		w.emu.Unlock()
+		return nil, fmt.Errorf("mpi: rank %d cannot join agreement: %w", orig, rf)
+	}
+	round := w.agreeSeq[orig]
+	w.agreeSeq[orig]++
+	if orig == 0 {
+		rd := w.netRoundLocked(round)
+		rd.arrived[0] = true
+		w.econd.Broadcast()
+		res, replies := w.netResolveLocked(rd)
+		for res == nil {
+			w.econd.Wait()
+			res, replies = w.netResolveLocked(rd)
+		}
+		w.emu.Unlock()
+		for _, dst := range replies {
+			_ = nt.sendAgreeResult(dst, round, res)
+		}
+		return append([]int(nil), res...), nil
+	}
+	w.emu.Unlock()
+	if err := nt.sendAgree(round); err != nil {
+		return nil, fmt.Errorf("mpi: rank %d cannot reach agreement coordinator: %w", orig, err)
+	}
+	w.emu.Lock()
+	defer w.emu.Unlock()
+	for {
+		if res, ok := w.netResults[round]; ok {
+			return append([]int(nil), res...), nil
+		}
+		if rf := w.failedP[0].Load(); rf != nil {
+			return nil, fmt.Errorf("mpi: agreement coordinator failed: %w", rf)
+		}
+		if w.done[0] {
+			return nil, errors.New("mpi: agreement coordinator exited before resolving the round")
+		}
+		w.econd.Wait()
+	}
+}
+
+// netRoundLocked returns (creating if needed) the coordinator's state for
+// a round. Callers hold emu.
+func (w *World) netRoundLocked(round int) *netAgreeRound {
+	if w.netRounds == nil {
+		w.netRounds = make(map[int]*netAgreeRound)
+	}
+	rd := w.netRounds[round]
+	if rd == nil {
+		rd = &netAgreeRound{arrived: make(map[int]bool), replied: make(map[int]bool)}
+		w.netRounds[round] = rd
+	}
+	return rd
+}
+
+// netResolveLocked advances one coordinator round: resolves it when every
+// root-world rank is accounted for, and returns the result plus the
+// arrived remote ranks not yet replied to (the caller sends the replies
+// outside the lock). A rank that arrived but was since declared failed
+// still gets a reply — it is excluded from the result, and discovering
+// that at Shrink is how a wrongly-revived process (SIGCONT after its
+// eviction) learns it must exit. Callers hold emu.
+func (w *World) netResolveLocked(rd *netAgreeRound) (res []int, replies []int) {
+	if rd.result == nil {
+		for r := 0; r < w.size; r++ {
+			if rd.arrived[r] || w.done[r] || w.failedP[r].Load() != nil {
+				continue
+			}
+			return nil, nil
+		}
+		out := []int{}
+		for r := 0; r < w.size; r++ {
+			if rd.arrived[r] && w.failedP[r].Load() == nil {
+				out = append(out, r)
+			}
+		}
+		rd.result = out
+		w.econd.Broadcast()
+	}
+	for r := range rd.arrived {
+		if r != 0 && !rd.replied[r] {
+			rd.replied[r] = true
+			replies = append(replies, r)
+		}
+	}
+	return rd.result, replies
+}
+
+// netAgreeArrive records a remote survivor reaching a round (frameAgree at
+// rank 0) and replies if the round resolves.
+func (w *World) netAgreeArrive(orig, round int) {
+	if !w.evict || w.self != 0 || orig <= 0 || orig >= w.size {
+		return
+	}
+	nt, ok := w.tr.(*NetTransport)
+	if !ok {
+		return
+	}
+	w.emu.Lock()
+	rd := w.netRoundLocked(round)
+	rd.arrived[orig] = true
+	w.econd.Broadcast()
+	res, replies := w.netResolveLocked(rd)
+	w.emu.Unlock()
+	for _, dst := range replies {
+		_ = nt.sendAgreeResult(dst, round, res)
+	}
+}
+
+// netAgreeResult records a resolved round at a worker (frameAgreeResult).
+func (w *World) netAgreeResult(round int, survivors []int) {
+	if !w.evict || w.self <= 0 {
+		return
+	}
+	if survivors == nil {
+		survivors = []int{}
+	}
+	w.emu.Lock()
+	if w.netResults == nil {
+		w.netResults = make(map[int][]int)
+	}
+	w.netResults[round] = survivors
+	w.emu.Unlock()
+	w.econd.Broadcast()
+}
+
+// netAgreeKick re-evaluates every pending coordinator round after a
+// liveness event (a rank declared failed or exited): the event may be
+// exactly what a round was waiting for.
+func (w *World) netAgreeKick() {
+	if !w.evict || w.self != 0 {
+		return
+	}
+	nt, ok := w.tr.(*NetTransport)
+	if !ok {
+		return
+	}
+	type reply struct {
+		dst, round int
+		res        []int
+	}
+	var outs []reply
+	w.emu.Lock()
+	for round, rd := range w.netRounds {
+		res, replies := w.netResolveLocked(rd)
+		for _, dst := range replies {
+			outs = append(outs, reply{dst: dst, round: round, res: res})
+		}
+	}
+	w.emu.Unlock()
+	for _, o := range outs {
+		_ = nt.sendAgreeResult(o.dst, o.round, o.res)
+	}
 }

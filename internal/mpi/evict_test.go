@@ -458,3 +458,60 @@ func TestAgreeRequiresEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: a request created on an already-revoked communicator must
+// fail fast with ErrRevoked, not sit out the receive deadline waiting for
+// a message that can never arrive.
+func TestIrecvOnRevokedCommFailsFast(t *testing.T) {
+	w := NewWorld(2)
+	w.EnableEviction(testBeat, testMisses)
+	w.SetRecvTimeout(10 * time.Second)
+	boom := errors.New("boom")
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return boom
+		}
+		// Wait for rank 1's failure to revoke this comm.
+		for c.world.revokeErr() == nil {
+			time.Sleep(time.Millisecond)
+		}
+		start := time.Now()
+		r := c.Irecv(1, 3)
+		_, rerr := r.Wait()
+		if !errors.Is(rerr, ErrRevoked) {
+			return fmt.Errorf("Irecv on revoked comm: %v, want ErrRevoked", rerr)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			return fmt.Errorf("Irecv on revoked comm took %v (hung toward the deadline)", elapsed)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression: a Shrink racing past the end of Run builds a sub-world no
+// send can ever reach; a receive on it must fail fast with ErrShutdown
+// instead of hanging until the receive deadline.
+func TestShrinkAfterShutdownFailsFast(t *testing.T) {
+	w := NewWorld(3)
+	w.EnableEviction(testBeat, testMisses)
+	w.SetRecvTimeout(10 * time.Second)
+	if err := w.Run(func(c *Comm) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := w.Shrink([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	r := (&Comm{world: sub, rank: 0}).Irecv(1, 3)
+	_, rerr := r.Wait()
+	if !errors.Is(rerr, ErrShutdown) {
+		t.Fatalf("recv on post-shutdown shrink: %v, want ErrShutdown", rerr)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("recv on post-shutdown shrink took %v (hung toward the deadline)", elapsed)
+	}
+}

@@ -170,6 +170,21 @@ type World struct {
 	// sub-worlds route through rootW.
 	commMetrics []*RankMetrics
 
+	// tr delivers envelopes (the transport seam; see transport.go). The
+	// in-process mailbox transport on ordinary worlds; a NetTransport when
+	// the world's ranks live in separate processes. Root world only.
+	tr Transport
+	// self is the original rank this process hosts on a networked world,
+	// -1 on in-process worlds (every rank is local). Root world only.
+	self int
+	// shut latches once shutdown has released pending receives: a Shrink
+	// racing past the end of Run must finish its new inboxes immediately
+	// rather than leave receivers hanging until their deadline.
+	shut atomic.Bool
+	// pendingWire buffers wire envelopes addressed to sub-worlds this
+	// process has not built with Shrink yet (see net.go). Guarded by wmu.
+	pendingWire map[string][]pendingEnv
+
 	// root is the original world this sub-world was shrunk from (nil on the
 	// root itself); orig maps this world's dense ranks to original ranks
 	// (nil on the root: the identity).
@@ -204,6 +219,11 @@ type World struct {
 	evictions   []Eviction
 	agreeSeq    []int
 	agreeRounds map[int]*agreeRound
+	// Networked-world agreement state (see evict.go): the coordinator's
+	// round registry at rank 0, resolved results at the other ranks.
+	// Guarded by emu.
+	netRounds  map[int]*netAgreeRound
+	netResults map[int][]int
 }
 
 // NewWorld creates a world with the given number of ranks. It panics if
@@ -218,6 +238,8 @@ func NewWorld(size int) *World {
 		sendCounts: make([]atomic.Uint64, size),
 		collCounts: make([]atomic.Uint64, size),
 		subs:       make(map[string]*World),
+		tr:         procTransport{},
+		self:       -1,
 	}
 	w.worlds = []*World{w}
 	for i := range w.boxes {
@@ -292,6 +314,9 @@ func (w *World) Stats() Stats {
 func (w *World) Run(body func(c *Comm) error) error {
 	if w.root != nil {
 		panic("mpi: Run on a shrunk sub-world; run the root world")
+	}
+	if w.self >= 0 {
+		panic("mpi: Run on a networked world; use RunLocal")
 	}
 	var wg sync.WaitGroup
 	errs := make([]error, w.size)
@@ -375,6 +400,7 @@ func (w *World) abortCause() error {
 // ever arrive, so letting them block would leak their goroutines for the
 // process lifetime.
 func (w *World) shutdown() {
+	w.shut.Store(true)
 	for _, sub := range w.allWorlds() {
 		for _, ib := range sub.boxes {
 			ib.finish(ErrShutdown)
@@ -454,8 +480,7 @@ func (c *Comm) send(dst, tag int, payload any) error {
 		}
 	}
 	root.accountSend(src, tag, payload)
-	c.world.boxes[dst].put(envelope{source: c.rank, tag: tag, payload: payload})
-	return nil
+	return root.tr.Deliver(c.world, c.rank, dst, tag, payload)
 }
 
 // Send delivers payload to dst with the given tag. It is buffered: it
@@ -561,6 +586,14 @@ func (c *Comm) Irecv(src, tag int) *Request {
 			close(r.done)
 			return r
 		}
+	}
+	// A request created on an already-revoked communicator fails fast with
+	// the revocation cause rather than waiting out the receive deadline: no
+	// matching send can ever complete on a revoked comm.
+	if err := c.world.revokeErr(); err != nil {
+		r.err = err
+		close(r.done)
+		return r
 	}
 	ib := c.world.boxes[c.rank]
 	cancelled := new(bool)

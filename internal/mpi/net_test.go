@@ -1,0 +1,318 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// netMesh builds the NetConfigs for an n-rank unix-socket mesh rooted in a
+// test temp dir.
+func netMesh(t *testing.T, n int) []NetConfig {
+	t.Helper()
+	dir := t.TempDir()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = filepath.Join(dir, fmt.Sprintf("r%d.sock", i))
+	}
+	cfgs := make([]NetConfig, n)
+	for i := range cfgs {
+		cfgs[i] = NetConfig{
+			Self:    i,
+			Size:    n,
+			Network: "unix",
+			Addrs:   addrs,
+			Job:     t.Name(),
+			Linger:  time.Second,
+		}
+	}
+	return cfgs
+}
+
+// newNetTransports builds one transport per rank of the mesh. Tests that
+// need the transports inside rank bodies (severing, stats) create them
+// first so the closures can capture the slice.
+func newNetTransports(t *testing.T, cfgs []NetConfig) []*NetTransport {
+	t.Helper()
+	trs := make([]*NetTransport, len(cfgs))
+	for i := range cfgs {
+		tr, err := NewNetTransport(cfgs[i])
+		if err != nil {
+			t.Fatalf("rank %d transport: %v", i, err)
+		}
+		trs[i] = tr
+	}
+	return trs
+}
+
+// runNetWorlds hosts each rank of the mesh on its own goroutine — each with
+// its own transport and world, communicating only over the sockets — and
+// returns the per-rank RunLocal errors.
+func runNetWorlds(t *testing.T, trs []*NetTransport, setup func(w *World), body func(c *Comm) error) []error {
+	t.Helper()
+	n := len(trs)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			w := NewNetWorld(trs[rank])
+			if setup != nil {
+				setup(w)
+			}
+			if err := trs[rank].Start(); err != nil {
+				errs[rank] = err
+				trs[rank].Shutdown(err)
+				return
+			}
+			errs[rank] = w.RunLocal(body)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// The transport parity baseline: point-to-point sends and every collective
+// produce the same values over the wire as in-process.
+func TestNetWorldPointToPointAndCollectives(t *testing.T) {
+	trs := newNetTransports(t, netMesh(t, 3))
+	errs := runNetWorlds(t, trs, nil, func(c *Comm) error {
+		n := c.Size()
+		// Ring exchange.
+		if err := c.Send((c.Rank()+1)%n, 7, c.Rank()); err != nil {
+			return fmt.Errorf("ring send: %w", err)
+		}
+		m, err := c.Recv((c.Rank()+n-1)%n, 7)
+		if err != nil {
+			return fmt.Errorf("ring recv: %w", err)
+		}
+		if m.Payload.(int) != (c.Rank()+n-1)%n {
+			return fmt.Errorf("ring got %v", m.Payload)
+		}
+		// Broadcast.
+		got, err := c.Bcast(0, "hello")
+		if err != nil {
+			return fmt.Errorf("bcast: %w", err)
+		}
+		if got.(string) != "hello" {
+			return fmt.Errorf("bcast got %v", got)
+		}
+		// Reduction.
+		sum, err := c.Reduce(0, float64(c.Rank()), OpSum)
+		if err != nil {
+			return fmt.Errorf("reduce: %w", err)
+		}
+		if c.Rank() == 0 && sum != 3 {
+			return fmt.Errorf("reduce got %v", sum)
+		}
+		// Gather.
+		vals, err := c.Gather(0, c.Rank())
+		if err != nil {
+			return fmt.Errorf("gather: %w", err)
+		}
+		if c.Rank() == 0 {
+			for i, v := range vals {
+				if v.(int) != i {
+					return fmt.Errorf("gather got %v", vals)
+				}
+			}
+		}
+		// Allgather and barrier.
+		all, err := c.Allgather(c.Rank() * 10)
+		if err != nil {
+			return fmt.Errorf("allgather: %w", err)
+		}
+		for i, v := range all {
+			if v.(int) != i*10 {
+				return fmt.Errorf("allgather got %v", all)
+			}
+		}
+		return c.Barrier()
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// Severing every connection mid-stream must be recovered transparently by
+// the redial/resend machinery: all messages arrive, exactly once, in
+// order, and the retry counters record the recovery.
+func TestNetWorldSeverReconnectsAndResends(t *testing.T) {
+	const msgs = 120
+	trs := newNetTransports(t, netMesh(t, 2))
+	errs := runNetWorlds(t, trs, nil, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(1, 5, i); err != nil {
+					return err
+				}
+				time.Sleep(time.Millisecond)
+			}
+			// Wait for the receiver's tally before tearing down.
+			m, err := c.Recv(1, 6)
+			if err != nil {
+				return err
+			}
+			if m.Payload.(int) != msgs {
+				return fmt.Errorf("receiver saw %v messages", m.Payload)
+			}
+			return nil
+		}
+		for i := 0; i < msgs; i++ {
+			m, err := c.Recv(0, 5)
+			if err != nil {
+				return err
+			}
+			if m.Payload.(int) != i {
+				return fmt.Errorf("message %d carried %v (reorder or loss)", i, m.Payload)
+			}
+			if i == msgs/3 || i == 2*msgs/3 {
+				// Sever both directions without telling anyone.
+				trs[0].DropConns()
+				trs[1].DropConns()
+			}
+		}
+		return c.Send(0, 6, msgs)
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+	var reconnects, resends, dups uint64
+	for _, tr := range trs {
+		s := tr.Stats().Snapshot()
+		reconnects += s.Reconnects
+		resends += s.Resends
+		dups += s.DupsDropped
+	}
+	if reconnects == 0 {
+		t.Error("no reconnects recorded after severing connections")
+	}
+	t.Logf("reconnects=%d resends=%d dups_dropped=%d", reconnects, resends, dups)
+}
+
+// A rank erroring out over the wire is detected (goodbye + stale beats),
+// evicted, and the survivors recover live on a shrunk communicator — the
+// in-process eviction protocol, across processes.
+func TestNetWorldErrorExitEvictedSurvivorsRecover(t *testing.T) {
+	const gens = 8
+	boom := errors.New("boom")
+	trs := newNetTransports(t, netMesh(t, 3))
+	finals := make([][]int, 3)
+	var mu sync.Mutex
+	errs := runNetWorlds(t, trs,
+		func(w *World) { w.EnableEviction(testBeat, testMisses) },
+		func(c *Comm) error {
+			g := 0
+			for g < gens {
+				if c.OrigRank() == 2 && g == 3 {
+					return boom
+				}
+				var err error
+				if c.Rank() == 0 {
+					for i := 1; i < c.Size(); i++ {
+						if _, err = c.Recv(AnySource, 7); err != nil {
+							break
+						}
+					}
+				} else {
+					err = c.Send(0, 7, g)
+				}
+				if err == nil {
+					// Lockstep: nobody races ahead of the failure epoch on
+					// buffered sends.
+					err = c.Barrier()
+				}
+				if err != nil {
+					nc, ok := evictRecover(c, err)
+					if !ok {
+						return err
+					}
+					c = nc
+					continue
+				}
+				g++
+			}
+			mu.Lock()
+			finals[c.OrigRank()] = c.Group()
+			mu.Unlock()
+			return nil
+		})
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("survivors errored: %v / %v", errs[0], errs[1])
+	}
+	if !errors.Is(errs[2], boom) {
+		t.Fatalf("rank 2 exit: %v", errs[2])
+	}
+	for _, r := range []int{0, 1} {
+		if got := fmt.Sprint(finals[r]); got != "[0 1]" {
+			t.Errorf("rank %d final group %v", r, got)
+		}
+	}
+}
+
+// A peer that vanishes silently — transport torn down with no goodbye, as
+// a kill -9 would leave it — is detected by heartbeat staleness on the
+// survivors, who evict it and continue.
+func TestNetWorldSilentVanishEvicted(t *testing.T) {
+	const gens = 6
+	trs := newNetTransports(t, netMesh(t, 3))
+	errs := runNetWorlds(t, trs,
+		func(w *World) { w.EnableEviction(testBeat, testMisses) },
+		func(c *Comm) error {
+			g := 0
+			for g < gens {
+				if c.OrigRank() == 2 && g == 2 {
+					// Vanish: sever the mesh and leave without goodbye.
+					trs[2].close()
+					return errors.New("simulated hard crash")
+				}
+				var err error
+				if c.Rank() == 0 {
+					for i := 1; i < c.Size(); i++ {
+						if _, err = c.Recv(AnySource, 7); err != nil {
+							break
+						}
+					}
+				} else {
+					err = c.Send(0, 7, g)
+				}
+				if err == nil {
+					err = c.Barrier()
+				}
+				if err != nil {
+					nc, ok := evictRecover(c, err)
+					if !ok {
+						return err
+					}
+					c = nc
+					continue
+				}
+				g++
+			}
+			return nil
+		})
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("survivors errored: %v / %v", errs[0], errs[1])
+	}
+	// Both survivors must have recorded rank 2's eviction with a liveness
+	// diagnosis (no goodbye arrived to attribute an error exit).
+	for _, tr := range trs[:2] {
+		evs := tr.world.Evictions()
+		if len(evs) != 1 || evs[0].Rank != 2 {
+			t.Fatalf("rank %d evictions: %v", tr.Self(), evs)
+		}
+		msg := evs[0].Err.Error()
+		if !strings.Contains(msg, "heartbeat") && !strings.Contains(msg, "unreachable") {
+			t.Errorf("rank %d eviction cause %q lacks liveness diagnosis", tr.Self(), msg)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// This file is the wire half of the transport layer: a length-prefixed
+// binary frame format carrying the runtime's point-to-point envelopes,
+// liveness beats, and recovery-protocol messages between processes, plus
+// the gob-based payload codec that serialises envelope payloads. The frame
+// header is hand-rolled (fixed layout, explicit bounds) in the style of
+// internal/checkpoint's snapshot format: a decoder fed truncated or
+// hostile bytes must error — never panic, never allocate unbounded memory.
+
+// wireMagic identifies an egd wire frame ("EGDW").
+const wireMagic = 0x45474457
+
+// wireVersion is the protocol version negotiated at handshake; a peer
+// speaking a different version is rejected before any data flows.
+const wireVersion = 1
+
+// Frame size limits enforced by the decoder before allocating: a length
+// field beyond these is a corrupt or hostile frame, not a big message.
+const (
+	maxWorldKeyLen  = 1 << 10 // sub-world keys are short survivor lists
+	maxFramePayload = 1 << 26 // 64 MiB bounds any legitimate sim payload
+)
+
+// frameKind discriminates wire frames. Reliable kinds (frameData,
+// frameGoodbye, frameAgree, frameAgreeResult) carry per-peer sequence
+// numbers, are resent after a reconnect, and are dup-dropped by the
+// receiver; transient kinds (beats, acks, handshake) are fire-and-forget.
+type frameKind uint8
+
+const (
+	// frameData carries one point-to-point envelope: dense src/dst ranks
+	// within the sub-world named by the frame's world key, a tag, and a
+	// gob-encoded payload.
+	frameData frameKind = 1 + iota
+	// frameBeat is a liveness tick from the hosting rank's heartbeat
+	// emitter; receipt refreshes the sender's entry in the local failure
+	// detector.
+	frameBeat
+	// frameGoodbye announces the sender's rank leaving Run, carrying its
+	// exit status so survivors attribute the departure (clean shutdown vs.
+	// error exit vs. silent disappearance).
+	frameGoodbye
+	// frameAgree is a survivor's arrival at an agreement round, sent to
+	// the coordinating rank 0.
+	frameAgree
+	// frameAgreeResult is rank 0's resolution of an agreement round: the
+	// surviving-rank set.
+	frameAgreeResult
+	// frameAck is a cumulative acknowledgement: every reliable frame with
+	// sequence number <= Seq has been processed by the sender of the ack.
+	frameAck
+	// frameHello opens a connection: rank identity, world size, job id,
+	// and protocol version (in the header) are checked before the
+	// connection joins the mesh.
+	frameHello
+	// frameWelcome accepts a hello, echoing the acceptor's identity.
+	frameWelcome
+)
+
+// frameKindEnd is one past the last valid frame kind (decoder bound).
+const frameKindEnd = frameWelcome + 1
+
+func (k frameKind) String() string {
+	switch k {
+	case frameData:
+		return "data"
+	case frameBeat:
+		return "beat"
+	case frameGoodbye:
+		return "goodbye"
+	case frameAgree:
+		return "agree"
+	case frameAgreeResult:
+		return "agree_result"
+	case frameAck:
+		return "ack"
+	case frameHello:
+		return "hello"
+	case frameWelcome:
+		return "welcome"
+	}
+	return fmt.Sprintf("frameKind(%d)", uint8(k))
+}
+
+// reliable reports whether the kind is sequenced, resent after reconnect,
+// and dup-suppressed at the receiver.
+func (k frameKind) reliable() bool {
+	switch k {
+	case frameData, frameGoodbye, frameAgree, frameAgreeResult:
+		return true
+	}
+	return false
+}
+
+// frame is one wire message. Src and Dst are dense ranks within the
+// sub-world named by World ("" is the root world), except for transport-
+// level kinds (beat, goodbye, hello, ack) where Src is the sender's
+// original rank and World is empty.
+type frame struct {
+	Kind    frameKind
+	Seq     uint64
+	Src     int32
+	Dst     int32
+	Tag     int64
+	World   string
+	Payload []byte
+}
+
+// frameHeaderLen is the fixed-size prefix of an encoded frame:
+// magic(4) version(2) kind(1) pad(1) seq(8) src(4) dst(4) tag(8)
+// worldLen(2) payloadLen(4).
+const frameHeaderLen = 38
+
+// appendFrame encodes f onto buf and returns the extended slice.
+func appendFrame(buf []byte, f *frame) ([]byte, error) {
+	if len(f.World) > maxWorldKeyLen {
+		return nil, fmt.Errorf("mpi: wire frame world key %d bytes exceeds %d", len(f.World), maxWorldKeyLen)
+	}
+	if len(f.Payload) > maxFramePayload {
+		return nil, fmt.Errorf("mpi: wire frame payload %d bytes exceeds %d", len(f.Payload), maxFramePayload)
+	}
+	if f.Kind == 0 || f.Kind >= frameKindEnd {
+		return nil, fmt.Errorf("mpi: wire frame kind %d invalid", uint8(f.Kind))
+	}
+	var h [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(h[0:], wireMagic)
+	binary.BigEndian.PutUint16(h[4:], wireVersion)
+	h[6] = uint8(f.Kind)
+	h[7] = 0
+	binary.BigEndian.PutUint64(h[8:], f.Seq)
+	binary.BigEndian.PutUint32(h[16:], uint32(f.Src))
+	binary.BigEndian.PutUint32(h[20:], uint32(f.Dst))
+	binary.BigEndian.PutUint64(h[24:], uint64(f.Tag))
+	binary.BigEndian.PutUint16(h[32:], uint16(len(f.World)))
+	binary.BigEndian.PutUint32(h[34:], uint32(len(f.Payload)))
+	buf = append(buf, h[:]...)
+	buf = append(buf, f.World...)
+	buf = append(buf, f.Payload...)
+	return buf, nil
+}
+
+// encodeFrame encodes f into a fresh buffer.
+func encodeFrame(f *frame) ([]byte, error) {
+	return appendFrame(make([]byte, 0, frameHeaderLen+len(f.World)+len(f.Payload)), f)
+}
+
+// readFrame decodes one frame from r. Length fields are bounds-checked
+// before any allocation, so a hostile stream cannot force an oversized
+// buffer; any malformed header errors out without consuming the rest of
+// the stream coherently (callers drop the connection).
+func readFrame(r io.Reader) (*frame, error) {
+	var h [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, err
+	}
+	return readFrameBody(h, r)
+}
+
+// decodeFrameBytes decodes one frame from a byte slice (the fuzz and test
+// entry point), requiring the slice to contain exactly one frame.
+func decodeFrameBytes(b []byte) (*frame, error) {
+	r := bytes.NewReader(b)
+	f, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("mpi: wire frame has %d trailing bytes", r.Len())
+	}
+	return f, nil
+}
+
+func readFrameBody(h [frameHeaderLen]byte, r io.Reader) (*frame, error) {
+	if m := binary.BigEndian.Uint32(h[0:]); m != wireMagic {
+		return nil, fmt.Errorf("mpi: wire frame magic %#x (want %#x)", m, uint32(wireMagic))
+	}
+	if v := binary.BigEndian.Uint16(h[4:]); v != wireVersion {
+		return nil, fmt.Errorf("mpi: wire protocol version %d (want %d)", v, wireVersion)
+	}
+	kind := frameKind(h[6])
+	if kind == 0 || kind >= frameKindEnd {
+		return nil, fmt.Errorf("mpi: wire frame kind %d invalid", h[6])
+	}
+	if h[7] != 0 {
+		return nil, fmt.Errorf("mpi: wire frame pad byte %#x nonzero", h[7])
+	}
+	wkLen := int(binary.BigEndian.Uint16(h[32:]))
+	payLen := int(binary.BigEndian.Uint32(h[34:]))
+	if wkLen > maxWorldKeyLen {
+		return nil, fmt.Errorf("mpi: wire frame world key %d bytes exceeds %d", wkLen, maxWorldKeyLen)
+	}
+	if payLen > maxFramePayload {
+		return nil, fmt.Errorf("mpi: wire frame payload %d bytes exceeds %d", payLen, maxFramePayload)
+	}
+	f := &frame{
+		Kind: kind,
+		Seq:  binary.BigEndian.Uint64(h[8:]),
+		Src:  int32(binary.BigEndian.Uint32(h[16:])),
+		Dst:  int32(binary.BigEndian.Uint32(h[20:])),
+		Tag:  int64(binary.BigEndian.Uint64(h[24:])),
+	}
+	rest := make([]byte, wkLen+payLen)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, err
+	}
+	f.World = string(rest[:wkLen])
+	if payLen > 0 {
+		f.Payload = rest[wkLen:]
+	}
+	return f, nil
+}
+
+// wirePayload wraps an envelope payload so gob serialises the interface
+// value (concrete type name + value) rather than a fixed struct shape.
+type wirePayload struct {
+	V any
+}
+
+// RegisterWirePayload registers a payload type with the wire codec's gob
+// layer. Every concrete type an application sends through a networked
+// world must be registered identically in every process before the world
+// runs; unregistered types fail at encode time on the sender.
+func RegisterWirePayload(v any) { gob.Register(v) }
+
+func init() {
+	// The runtime's own cross-wire payload vocabulary: the scalar and
+	// slice types payloadBytes models, the aggregate shapes collectives
+	// produce, and the transport's control-message bodies.
+	for _, v := range []any{
+		int(0), int32(0), int64(0), uint32(0), uint64(0),
+		float64(0), bool(false), string(""),
+		[]byte(nil), []int(nil), []uint32(nil), []uint64(nil), []float64(nil),
+		[]any(nil), [2]int{},
+		helloMsg{}, goodbyeMsg{}, agreeResultMsg{},
+	} {
+		gob.Register(v)
+	}
+}
+
+// encodePayload serialises an envelope payload for a data frame. A nil
+// payload encodes to an empty body.
+func encodePayload(v any) ([]byte, error) {
+	if v == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wirePayload{V: v}); err != nil {
+		return nil, fmt.Errorf("mpi: encode wire payload %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePayload deserialises a data-frame body. Gob decoding of hostile
+// bytes can panic deep in reflection; the recover guard converts any such
+// panic into an error so a malformed frame can never take the receive
+// loop down.
+func decodePayload(b []byte) (v any, err error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			v, err = nil, fmt.Errorf("mpi: decode wire payload panicked: %v", p)
+		}
+	}()
+	var wp wirePayload
+	if derr := gob.NewDecoder(bytes.NewReader(b)).Decode(&wp); derr != nil {
+		return nil, fmt.Errorf("mpi: decode wire payload: %w", derr)
+	}
+	return wp.V, nil
+}
+
+// helloMsg is the handshake body: the dialing (or answering) process
+// identifies the rank it hosts, the world size it was configured with,
+// and the job id, all of which must match the receiving side's view.
+type helloMsg struct {
+	Rank int
+	Size int
+	Job  string
+}
+
+// goodbyeMsg is the goodbye body: the sender's exit status. Cascade marks
+// an error exit that was itself caused by another rank's failure (the
+// error matched ErrAborted/ErrRevoked), so receivers do not attribute an
+// independent failure to a rank that merely unwound.
+type goodbyeMsg struct {
+	OK      bool
+	Err     string
+	Cascade bool
+}
+
+// agreeResultMsg is the agreement-resolution body.
+type agreeResultMsg struct {
+	Round     int
+	Survivors []int
+}

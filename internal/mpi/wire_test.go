@@ -1,0 +1,213 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	frames := []*frame{
+		{Kind: frameData, Seq: 1, Src: 2, Dst: 0, Tag: 7, World: "", Payload: []byte("hello")},
+		{Kind: frameData, Seq: 42, Src: 0, Dst: 3, Tag: 1 << 30, World: "[0 1 3]", Payload: nil},
+		{Kind: frameBeat, Src: 1},
+		{Kind: frameGoodbye, Seq: 9, Src: 3, Payload: []byte{1, 2, 3}},
+		{Kind: frameAgree, Seq: 5, Src: 2, Tag: 0},
+		{Kind: frameAgreeResult, Seq: 6, Src: 0, Dst: 2, Tag: 1, Payload: []byte("x")},
+		{Kind: frameAck, Seq: 1234567},
+		{Kind: frameHello, Src: 1, Payload: []byte("id")},
+		{Kind: frameWelcome, Src: 2},
+	}
+	for _, f := range frames {
+		b, err := encodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %v: %v", f.Kind, err)
+		}
+		got, err := decodeFrameBytes(b)
+		if err != nil {
+			t.Fatalf("decode %v: %v", f.Kind, err)
+		}
+		if got.Kind != f.Kind || got.Seq != f.Seq || got.Src != f.Src ||
+			got.Dst != f.Dst || got.Tag != f.Tag || got.World != f.World ||
+			!bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("round trip %v: got %+v want %+v", f.Kind, got, f)
+		}
+	}
+}
+
+func TestWireFrameStreamed(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*frame{
+		{Kind: frameData, Seq: 1, Src: 0, Dst: 1, Tag: 3, Payload: []byte("a")},
+		{Kind: frameAck, Seq: 1},
+		{Kind: frameData, Seq: 2, Src: 0, Dst: 1, Tag: 3, World: "[0 1]", Payload: []byte("bb")},
+	}
+	for _, f := range want {
+		b, err := encodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+	}
+	for i, f := range want {
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != f.Kind || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, f)
+		}
+	}
+	if _, err := readFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("after stream end: %v, want EOF", err)
+	}
+}
+
+func TestWireFrameEncodeRejectsInvalid(t *testing.T) {
+	if _, err := encodeFrame(&frame{Kind: 0}); err == nil {
+		t.Fatal("kind 0 encoded")
+	}
+	if _, err := encodeFrame(&frame{Kind: frameKindEnd}); err == nil {
+		t.Fatal("out-of-range kind encoded")
+	}
+	if _, err := encodeFrame(&frame{Kind: frameData, World: strings.Repeat("x", maxWorldKeyLen+1)}); err == nil {
+		t.Fatal("oversized world key encoded")
+	}
+	if _, err := encodeFrame(&frame{Kind: frameData, Payload: make([]byte, maxFramePayload+1)}); err == nil {
+		t.Fatal("oversized payload encoded")
+	}
+}
+
+func TestWireFrameDecodeRejectsCorruption(t *testing.T) {
+	good, err := encodeFrame(&frame{Kind: frameData, Seq: 1, Src: 0, Dst: 1, Tag: 2, Payload: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mut func(b []byte) []byte) {
+		b := mut(append([]byte(nil), good...))
+		if _, err := decodeFrameBytes(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	corrupt("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	corrupt("bad version", func(b []byte) []byte { b[5] = 99; return b })
+	corrupt("bad kind", func(b []byte) []byte { b[6] = 200; return b })
+	corrupt("truncated header", func(b []byte) []byte { return b[:frameHeaderLen-1] })
+	corrupt("truncated body", func(b []byte) []byte { return b[:len(b)-3] })
+	corrupt("trailing garbage", func(b []byte) []byte { return append(b, 0xAB) })
+	corrupt("oversized world len", func(b []byte) []byte {
+		binary.BigEndian.PutUint16(b[32:], maxWorldKeyLen+1)
+		return b
+	})
+	corrupt("oversized payload len", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[34:], maxFramePayload+1)
+		return b
+	})
+	corrupt("payload len beyond body", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b[34:], 1<<20)
+		return b
+	})
+}
+
+// FuzzWireFrame hammers the frame decoder with arbitrary bytes: it must
+// return an error or a frame that re-encodes to the identical bytes —
+// never panic, and never allocate beyond the declared length limits (the
+// bounds checks run before any allocation).
+func FuzzWireFrame(f *testing.F) {
+	seed, _ := encodeFrame(&frame{Kind: frameData, Seq: 3, Src: 1, Dst: 0, Tag: 5, World: "[0 1]", Payload: []byte("p")})
+	f.Add(seed)
+	f.Add(seed[:frameHeaderLen])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, frameHeaderLen))
+	big := append([]byte(nil), seed...)
+	binary.BigEndian.PutUint32(big[34:], 1<<31)
+	f.Add(big)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := decodeFrameBytes(data)
+		if err != nil {
+			return
+		}
+		re, err := encodeFrame(fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data)
+		}
+	})
+}
+
+func TestWirePayloadRoundTrip(t *testing.T) {
+	for _, v := range []any{
+		int(7), float64(3.5), "s", []float64{1, 2}, []int{3, 4}, [2]int{5, 6},
+		true, []byte{9}, []any{int(1), "two"},
+		helloMsg{Rank: 1, Size: 4, Job: "j"},
+		goodbyeMsg{OK: false, Err: "boom", Cascade: true},
+		agreeResultMsg{Round: 2, Survivors: []int{0, 2}},
+	} {
+		b, err := encodePayload(v)
+		if err != nil {
+			t.Fatalf("encode %T: %v", v, err)
+		}
+		got, err := decodePayload(b)
+		if err != nil {
+			t.Fatalf("decode %T: %v", v, err)
+		}
+		switch want := v.(type) {
+		case []float64:
+			g := got.([]float64)
+			for i := range want {
+				if g[i] != want[i] {
+					t.Fatalf("%T: got %v want %v", v, got, v)
+				}
+			}
+		case []int:
+			g := got.([]int)
+			for i := range want {
+				if g[i] != want[i] {
+					t.Fatalf("%T: got %v want %v", v, got, v)
+				}
+			}
+		case []byte:
+			if !bytes.Equal(got.([]byte), want) {
+				t.Fatalf("%T: got %v want %v", v, got, v)
+			}
+		case []any:
+			g := got.([]any)
+			for i := range want {
+				if g[i] != want[i] {
+					t.Fatalf("%T: got %v want %v", v, got, v)
+				}
+			}
+		case agreeResultMsg:
+			g := got.(agreeResultMsg)
+			if g.Round != want.Round || len(g.Survivors) != len(want.Survivors) {
+				t.Fatalf("%T: got %v want %v", v, got, v)
+			}
+			for i := range want.Survivors {
+				if g.Survivors[i] != want.Survivors[i] {
+					t.Fatalf("%T: got %v want %v", v, got, v)
+				}
+			}
+		default:
+			if got != v {
+				t.Fatalf("%T: got %v want %v", v, got, v)
+			}
+		}
+	}
+	// Nil payloads travel as empty bodies.
+	b, err := encodePayload(nil)
+	if err != nil || b != nil {
+		t.Fatalf("nil payload: %v %v", b, err)
+	}
+	if got, err := decodePayload(nil); err != nil || got != nil {
+		t.Fatalf("nil body: %v %v", got, err)
+	}
+	// Garbage bodies error rather than panic.
+	if _, err := decodePayload([]byte{0xde, 0xad, 0xbe, 0xef}); err == nil {
+		t.Fatal("garbage payload decoded")
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/strategy"
+)
+
+// This file is the multi-process entry point of the parallel engine: where
+// RunParallel hosts every rank as a goroutine of one process, RunWorker
+// hosts exactly one rank of a networked world wired by an mpi.NetTransport
+// (the egdrun launcher spawns one such process per rank). The rank bodies
+// are identical — natureRank and workerRank run unchanged over the wire —
+// so a networked run follows the same trajectory, bit for bit, as an
+// in-process run of the same Config.
+
+func init() {
+	// Register the engine's wire-payload vocabulary with the transport
+	// codec. Every type a rank body sends must be registered identically
+	// in every worker process (init-time registration guarantees that).
+	for _, v := range []any{
+		selection{}, update{}, resume{}, RankPhaseSnapshot{},
+		&strategy.Pure{}, &strategy.Mixed{},
+	} {
+		mpi.RegisterWirePayload(v)
+	}
+}
+
+// RunWorker executes this process's rank of a networked simulation: rank 0
+// is the Nature Agent, the rest own block-distributed game pairs, exactly
+// as RunParallel. The transport must be freshly created and not yet
+// started; RunWorker installs the Config's world options (metrics, fault
+// plan, receive deadline, eviction), wires the mesh, and runs the hosted
+// rank to completion.
+//
+// On the Nature process the returned Result is the run's result, assembled
+// as in RunParallel except that communication and transport metrics are
+// this process's view of the wire (per-process accounting; see
+// docs/TRANSPORT.md). Worker processes return (nil, nil) on success.
+func RunWorker(cfg Config, t *mpi.NetTransport) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ranks := t.Size()
+	if ranks < 2 {
+		return nil, fmt.Errorf("sim: parallel engine needs >= 2 ranks (Nature + workers), got %d", ranks)
+	}
+	nWorkers := ranks - 1
+	totalGames := cfg.NumSSets * (cfg.NumSSets - 1)
+	if nWorkers > totalGames {
+		return nil, fmt.Errorf("sim: %d workers exceed %d games per generation", nWorkers, totalGames)
+	}
+
+	world := mpi.NewNetWorld(t)
+	if cfg.Metrics {
+		world.EnableMetrics()
+	}
+	if cfg.FaultPlan != nil {
+		world.InstallFaultPlan(cfg.FaultPlan)
+	}
+	if cfg.RecvTimeout > 0 {
+		world.SetRecvTimeout(cfg.RecvTimeout)
+	}
+	if cfg.Evict {
+		world.EnableEviction(cfg.HeartbeatEvery, cfg.HeartbeatMisses)
+	}
+	if err := t.Start(); err != nil {
+		return nil, err
+	}
+	var result *Result
+	start := time.Now() //egdlint:allow determinism elapsed-time metadata for Result.Elapsed, not part of the trajectory
+	err := world.RunLocal(func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			res, err := natureRank(cfg, c)
+			if err != nil {
+				return err
+			}
+			result = res
+			return nil
+		}
+		return workerRank(cfg, c)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if result == nil {
+		// A worker rank: the Result lives on the Nature process.
+		return nil, nil
+	}
+	result.Elapsed = time.Since(start) //egdlint:allow determinism elapsed-time metadata, not part of the trajectory
+	result.Evictions = len(world.Evictions())
+	result.Ranks = ranks - result.Evictions
+	if cfg.Metrics && result.Metrics != nil {
+		result.Metrics.Comm = world.CommMetricsSnapshot()
+		result.Metrics.Transport = world.TransportStats()
+	}
+	return result, nil
+}

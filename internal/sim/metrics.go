@@ -130,6 +130,11 @@ type RunMetrics struct {
 	// Comm holds per-rank communication accounting (parallel engine only),
 	// ordered by original rank.
 	Comm []mpi.RankCommSnapshot `json:"comm,omitempty"`
+	// Transport holds the wire-transport counters of a networked run
+	// (RunWorker): this process's view of the wire — frames, bytes, beats,
+	// and the retry machinery's evidence (reconnects, resends, duplicate
+	// suppression). Nil on in-process runs.
+	Transport *mpi.TransportSnapshot `json:"transport,omitempty"`
 }
 
 // PhaseTotals aggregates phase timings across ranks, sorted by phase name.
@@ -224,6 +229,29 @@ func (r *Result) MetricsRegistry() *metrics.Registry {
 		}
 		if cs.Evicted {
 			reg.Gauge(metrics.Name("egd_evicted", "rank", rank)).Set(1)
+		}
+	}
+	if ts := r.Metrics.Transport; ts != nil {
+		// Wire traffic depends on real-time behaviour (beat cadence,
+		// reconnects), so the transport series carry the _wallclock_total
+		// marker and are stripped from deterministic snapshots.
+		for _, c := range []struct {
+			name string
+			v    uint64
+		}{
+			{"frames_sent", ts.FramesSent},
+			{"frames_recv", ts.FramesRecv},
+			{"bytes_sent", ts.BytesSent},
+			{"bytes_recv", ts.BytesRecv},
+			{"beats_sent", ts.BeatsSent},
+			{"beats_recv", ts.BeatsRecv},
+			{"resends", ts.Resends},
+			{"dups_dropped", ts.DupsDropped},
+			{"reconnects", ts.Reconnects},
+			{"redials", ts.Redials},
+			{"decode_errs", ts.DecodeErrs},
+		} {
+			reg.Counter("egd_transport_" + c.name + "_wallclock_total").Add(c.v)
 		}
 	}
 	return reg

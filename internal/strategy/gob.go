@@ -1,0 +1,90 @@
+package strategy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+)
+
+// Gob support so strategies can cross process boundaries through the mpi
+// wire transport. The encodings are self-describing (memory depth first)
+// and strictly validated on decode: a corrupt or hostile body errors out,
+// it never panics and never round-trips into an inconsistent strategy.
+
+// GobEncode implements gob.GobEncoder: memory byte, then the response
+// bitset's binary form.
+func (p *Pure) GobEncode() ([]byte, error) {
+	bits, err := p.bits.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 1+len(bits))
+	out = append(out, byte(p.space.Memory()))
+	return append(out, bits...), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *Pure) GobDecode(data []byte) error {
+	if len(data) < 1 {
+		return fmt.Errorf("strategy: pure gob body %d bytes", len(data))
+	}
+	n := int(data[0])
+	if n < 1 || n > MaxMemory {
+		return fmt.Errorf("strategy: pure gob memory %d out of range [1,%d]", n, MaxMemory)
+	}
+	sp := NewSpace(n)
+	b := new(bitset.Bitset)
+	if err := b.UnmarshalBinary(data[1:]); err != nil {
+		return err
+	}
+	if b.Len() != sp.NumStates() {
+		return fmt.Errorf("strategy: pure gob bitset length %d != %d states", b.Len(), sp.NumStates())
+	}
+	p.space = sp
+	p.bits = b
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder: memory byte, then each state's
+// cooperation probability as big-endian float64 bits.
+func (m *Mixed) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(1 + 8*len(m.p))
+	buf.WriteByte(byte(m.space.Memory()))
+	var w [8]byte
+	for _, v := range m.p {
+		binary.BigEndian.PutUint64(w[:], math.Float64bits(v))
+		buf.Write(w[:])
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Mixed) GobDecode(data []byte) error {
+	if len(data) < 1 {
+		return fmt.Errorf("strategy: mixed gob body %d bytes", len(data))
+	}
+	n := int(data[0])
+	if n < 1 || n > MaxMemory {
+		return fmt.Errorf("strategy: mixed gob memory %d out of range [1,%d]", n, MaxMemory)
+	}
+	sp := NewSpace(n)
+	body := data[1:]
+	if len(body) != 8*sp.NumStates() {
+		return fmt.Errorf("strategy: mixed gob body %d bytes for %d states", len(body), sp.NumStates())
+	}
+	p := make([]float64, sp.NumStates())
+	for i := range p {
+		v := math.Float64frombits(binary.BigEndian.Uint64(body[8*i:]))
+		if v != clamp01(v) || v != v {
+			return fmt.Errorf("strategy: mixed gob probability %v out of [0,1]", v)
+		}
+		p[i] = v
+	}
+	m.space = sp
+	m.p = p
+	return nil
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Multi-process chaos smoke for the wire transport: run the same seeded
+# config three times through egdrun — fault-free, with a worker SIGKILLed
+# mid-run, and with a worker SIGSTOPped through its own eviction — and
+# assert that every deterministic summary line ("work:", fitness,
+# cooperation, WSLS, distinct strategies) is byte-identical across runs.
+# -full keeps GamesPlayed deterministic under eviction replay.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+SIM_FLAGS=(-np 4 -ssets 16 -gens 400 -rounds 20 -seed 7 -full)
+EVICT_FLAGS=(-evict -heartbeat-every 25ms -heartbeat-misses 5)
+
+echo "chaos-smoke: building egdrun"
+$GO build -o "$TMP/egdrun" ./cmd/egdrun
+
+strip_summary() { grep -v '^run:' "$1" > "$1.det"; }
+
+echo "chaos-smoke: fault-free baseline"
+"$TMP/egdrun" "${SIM_FLAGS[@]}" > "$TMP/clean.out"
+strip_summary "$TMP/clean.out"
+
+echo "chaos-smoke: SIGKILL worker 2 mid-run"
+"$TMP/egdrun" "${SIM_FLAGS[@]}" "${EVICT_FLAGS[@]}" -chaos-kill 2@150ms > "$TMP/kill.out"
+strip_summary "$TMP/kill.out"
+
+echo "chaos-smoke: SIGSTOP worker 3 mid-run, SIGCONT after eviction"
+"$TMP/egdrun" "${SIM_FLAGS[@]}" "${EVICT_FLAGS[@]}" -chaos-stop 3@150ms:2s > "$TMP/stop.out"
+strip_summary "$TMP/stop.out"
+
+fail=0
+for chaos in kill stop; do
+    if ! diff -u "$TMP/clean.out.det" "$TMP/$chaos.out.det"; then
+        echo "chaos-smoke: FAIL: $chaos run diverged from the fault-free baseline" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+
+echo "chaos-smoke: PASS: chaos runs bit-identical to fault-free baseline"
+cat "$TMP/clean.out.det"
