@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race strict fuzz bench chaos check clean
+.PHONY: all build test vet lint race strict fuzz bench chaos serve-smoke check clean
 
 all: build test
 
@@ -43,6 +43,13 @@ fuzz:
 # summary lines are byte-identical (see scripts/chaos_smoke.sh).
 chaos:
 	./scripts/chaos_smoke.sh
+
+# Service smoke: boot egdserve on an ephemeral port and drive the job
+# lifecycle over real HTTP — submit, SSE stream, pause mid-run, resume,
+# and assert the resumed /result matches an uninterrupted run's bit for
+# bit (see scripts/serve_smoke.sh).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Single-iteration sweep of the paper-artefact benchmarks (bench_test.go)
 # with allocation stats, streamed as test2json records to BENCH_5.json —

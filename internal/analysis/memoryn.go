@@ -23,7 +23,9 @@ func MarkovPayoffN(payoff game.Payoff, s0, s1 strategy.Strategy, errRate float64
 	if s1.Space() != sp {
 		return 0, 0, fmt.Errorf("analysis: mismatched strategy spaces")
 	}
-	if errRate < 0 || errRate > 1 {
+	// Negated comparison so NaN (for which both bounds are false) is
+	// rejected rather than silently poisoning the chain.
+	if !(errRate >= 0 && errRate <= 1) {
 		return 0, 0, fmt.Errorf("analysis: error rate %v out of [0,1]", errRate)
 	}
 	n := sp.NumStates()

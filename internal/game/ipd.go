@@ -33,7 +33,9 @@ func (r Rules) Validate() error {
 	if r.Rounds <= 0 {
 		return fmt.Errorf("game: rounds must be positive, got %d", r.Rounds)
 	}
-	if r.ErrorRate < 0 || r.ErrorRate > 1 {
+	// Negated comparison so NaN (for which both x < 0 and x > 1 are false)
+	// is rejected too.
+	if !(r.ErrorRate >= 0 && r.ErrorRate <= 1) {
 		return fmt.Errorf("game: error rate %v out of [0,1]", r.ErrorRate)
 	}
 	return nil

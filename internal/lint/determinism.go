@@ -11,7 +11,11 @@ import (
 // engine's exactness guarantee — and live eviction's one-generation
 // replay, which recovers *bit-identical* results after a rank death —
 // hold only while these packages take no input from wall clocks,
-// process-global RNGs, or map iteration order.
+// process-global RNGs, or map iteration order. The job service rides on
+// the same guarantee: a paused job's resumed segment must replay the
+// exact trajectory an uninterrupted run would have taken, so the server
+// package obeys the same rules (its token-bucket clock is an annotated
+// exception that never feeds a trajectory).
 var DeterministicPaths = []string{
 	"repro/internal/sim",
 	"repro/internal/game",
@@ -19,6 +23,7 @@ var DeterministicPaths = []string{
 	"repro/internal/rng",
 	"repro/internal/analysis",
 	"repro/internal/replicator",
+	"repro/internal/server",
 }
 
 // Determinism forbids nondeterministic inputs in the deterministic

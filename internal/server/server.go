@@ -1,0 +1,321 @@
+// Package server implements the egdserve daemon: a multi-tenant HTTP/JSON
+// job service over the simulation engines. Tenants POST sim.Config-shaped
+// specs, a bounded worker pool runs them on the sequential or parallel
+// engine, progress streams out as Server-Sent Events, and pause/resume/
+// cancel ride on the engine's Control hook and checkpoint machinery — a
+// paused job resumes from its snapshot bit-identically (pure strategies).
+// A perfmodel-driven admission controller prices every submission and
+// rejects or defers work that exceeds the configured budgets; per-tenant
+// quotas and token-bucket rate limits keep one tenant from starving the
+// rest. The daemon's own counters and every finished run's egd_* catalog
+// are served in Prometheus text format at /metrics.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options configures a Server. Zero values select workable defaults.
+type Options struct {
+	// Workers is the number of concurrent simulation workers (0 selects 2).
+	Workers int
+	// QueueDepth bounds the pending-job queue (0 selects 64).
+	QueueDepth int
+	// MaxJobSeconds rejects any single job whose modelled cost exceeds this
+	// ceiling with 422 (0 = no per-job ceiling).
+	MaxJobSeconds float64
+	// MaxOutstandingSeconds bounds the modelled cost of all non-terminal
+	// jobs; submissions over it get 429 + Retry-After (0 = unbounded).
+	MaxOutstandingSeconds float64
+	// Tenant bounds each tenant's concurrency and submission rate.
+	Tenant TenantLimits
+	// Cost prices submissions; the zero value uses the deterministic paper
+	// calibration.
+	Cost CostModel
+	// Now overrides the rate limiter's clock (tests); nil uses wall time.
+	Now func() int64
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 2
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 64
+}
+
+// Server is the HTTP front end over a job Manager.
+type Server struct {
+	mgr *Manager
+	reg *metrics.Registry
+	mux *http.ServeMux
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	reg := metrics.NewRegistry()
+	s := &Server{reg: reg, mgr: newManager(opts, reg), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /api/v1/jobs/{id}/pause", s.handleTransition(s.mgr.Pause))
+	s.mux.HandleFunc("POST /api/v1/jobs/{id}/resume", s.handleTransition(s.mgr.Resume))
+	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleTransition(s.mgr.Cancel))
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels running jobs and stops the worker pool.
+func (s *Server) Close() { s.mgr.Close() }
+
+// tenantOf extracts the caller's tenant from the X-Tenant header; absent
+// means the shared default tenant.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-write is not actionable
+}
+
+// writeError maps the manager's typed errors onto HTTP semantics: 400 for
+// malformed specs, 409 for invalid transitions, 422/429 (+ Retry-After and
+// the modelled cost) for admission, 429 (+ Retry-After) for quotas.
+func writeError(w http.ResponseWriter, err error) {
+	var se *specError
+	var ste *stateError
+	var ae *admissionError
+	var qe *quotaError
+	switch {
+	case errors.As(err, &se):
+		writeJSON(w, http.StatusBadRequest, map[string]string{"reason": "invalid_spec", "detail": se.Detail})
+	case errors.As(err, &ste):
+		writeJSON(w, http.StatusConflict, map[string]string{"reason": "invalid_state", "detail": ste.Detail})
+	case errors.As(err, &ae):
+		status := ae.Status
+		if status == 0 {
+			status = http.StatusTooManyRequests
+		}
+		if ae.RetryAfterSeconds > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ae.RetryAfterSeconds))
+		}
+		writeJSON(w, status, ae)
+	case errors.As(err, &qe):
+		if qe.RetryAfterSeconds > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(qe.RetryAfterSeconds))
+		}
+		writeJSON(w, http.StatusTooManyRequests, qe)
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"reason": "internal", "detail": err.Error()})
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metrics.WritePrometheus(w, s.reg.Snapshot()) //nolint:errcheck // client gone mid-write
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := parseSpec(r.Body)
+	if err != nil {
+		writeError(w, &specError{Detail: err.Error()})
+		return
+	}
+	job, err := s.mgr.Submit(tenantOf(r), spec)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.list()})
+}
+
+// jobFor resolves the {id} path parameter, writing the 404 itself when the
+// job does not exist.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"reason": "unknown_job", "detail": r.PathValue("id")})
+	}
+	return job, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, job.status())
+	}
+}
+
+func (s *Server) handleTransition(f func(*Job) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.jobFor(w, r)
+		if !ok {
+			return
+		}
+		if err := f(job); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.status())
+	}
+}
+
+// samplePoint is one retained series observation.
+type samplePoint struct {
+	Generation int     `json:"generation"`
+	Value      float64 `json:"value"`
+}
+
+// jobResult is the wire form of a finished run. ElapsedSeconds is the only
+// non-deterministic field; parity checks compare everything else.
+type jobResult struct {
+	ID             string        `json:"id"`
+	FinalFitness   []float64     `json:"final_fitness"`
+	Fingerprints   []string      `json:"fingerprints"`
+	Counters       sim.Counters  `json:"counters"`
+	MeanFitness    []samplePoint `json:"mean_fitness"`
+	Cooperation    []samplePoint `json:"cooperation"`
+	Ranks          int           `json:"ranks"`
+	Restarts       int           `json:"restarts"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
+}
+
+func seriesPoints(s *stats.Series) []samplePoint {
+	if s == nil {
+		return nil
+	}
+	out := make([]samplePoint, s.Len())
+	for i := range out {
+		g, v := s.At(i)
+		out[i] = samplePoint{Generation: g, Value: v}
+	}
+	return out
+}
+
+// stitchPoints joins the series of pause-terminated segments with the final
+// segment's. The segments sample disjoint generation ranges on the same
+// pinned stride, so the concatenation is exactly an uninterrupted run's
+// series.
+func stitchPoints(prior []samplePoint, s *stats.Series) []samplePoint {
+	pts := append(append([]samplePoint(nil), prior...), seriesPoints(s)...)
+	if len(pts) == 0 {
+		return nil
+	}
+	return pts
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	job.mu.Lock()
+	state, res := job.state, job.result
+	priorFitness, priorCoop := job.priorFitness, job.priorCoop
+	job.mu.Unlock()
+	if state != StateDone || res == nil {
+		writeError(w, &stateError{Detail: fmt.Sprintf("job %s is %s; results exist only for done jobs", job.ID, state)})
+		return
+	}
+	out := jobResult{
+		ID:             job.ID,
+		FinalFitness:   res.FinalFitness,
+		Fingerprints:   make([]string, len(res.Final)),
+		Counters:       res.Counters,
+		MeanFitness:    stitchPoints(priorFitness, res.MeanFitness),
+		Cooperation:    stitchPoints(priorCoop, res.Cooperation),
+		Ranks:          res.Ranks,
+		Restarts:       res.Restarts,
+		ElapsedSeconds: res.Elapsed.Seconds(),
+	}
+	for i, st := range res.Final {
+		out.Fingerprints[i] = fmt.Sprintf("%016x", st.Fingerprint())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleEvents streams a job's timeline as Server-Sent Events: the backlog
+// after the client's Last-Event-ID (0 when absent), then live events until
+// the job settles or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSON(w, http.StatusNotImplemented, map[string]string{"reason": "no_streaming", "detail": "response writer cannot stream"})
+		return
+	}
+	afterID := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			afterID = n
+		}
+	}
+	backlog, live, cancel := job.hub.subscribe(afterID)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	writeSSE := func(ev sseEvent) bool {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Kind, ev.Data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	for _, ev := range backlog {
+		if !writeSSE(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				return // job settled (or subscriber dropped): stream ends
+			}
+			if !writeSSE(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

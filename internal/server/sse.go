@@ -1,0 +1,104 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// sseEvent is one entry on a job's event timeline. IDs are 1-based and
+// dense, so a reconnecting client's Last-Event-ID maps directly to an index
+// into the retained timeline for replay.
+type sseEvent struct {
+	ID   int
+	Kind string
+	Data []byte // one JSON object, no newlines
+}
+
+// hub is a per-job event fan-out: publishers append to a retained timeline,
+// subscribers receive the backlog (after their Last-Event-ID) plus live
+// events. Slow subscribers are dropped rather than blocking the engine —
+// they reconnect with Last-Event-ID and replay what they missed.
+type hub struct {
+	mu     sync.Mutex
+	events []sseEvent
+	subs   []chan sseEvent
+	closed bool
+}
+
+func newHub() *hub { return &hub{} }
+
+// publish appends one event and fans it out. v is serialised to JSON;
+// serialisation failures are impossible for the value types the server
+// publishes (plain structs of numbers and strings), so publish is infallible
+// by design.
+func (h *hub) publish(kind string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(`{"error":"unencodable event"}`)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	ev := sseEvent{ID: len(h.events) + 1, Kind: kind, Data: data}
+	h.events = append(h.events, ev)
+	live := h.subs[:0]
+	for _, ch := range h.subs {
+		select {
+		case ch <- ev:
+			live = append(live, ch)
+		default:
+			close(ch) // lagging subscriber: drop; it replays via Last-Event-ID
+		}
+	}
+	h.subs = live
+}
+
+// subscribe registers a listener. backlog holds every retained event with
+// ID > afterID; ch then carries live events until cancel is called, the
+// subscriber lags, or the hub closes (channel closed in all three cases).
+func (h *hub) subscribe(afterID int) (backlog []sseEvent, ch chan sseEvent, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if afterID < 0 {
+		afterID = 0
+	}
+	if afterID < len(h.events) {
+		backlog = append(backlog, h.events[afterID:]...)
+	}
+	ch = make(chan sseEvent, 64)
+	if h.closed {
+		close(ch)
+		return backlog, ch, func() {}
+	}
+	h.subs = append(h.subs, ch)
+	cancel = func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		for i, c := range h.subs {
+			if c == ch {
+				h.subs = append(h.subs[:i], h.subs[i+1:]...)
+				close(c)
+				return
+			}
+		}
+	}
+	return backlog, ch, cancel
+}
+
+// close ends the stream: subscribers' channels are closed after any events
+// already queued, and later publishes are ignored. The timeline stays
+// readable for Last-Event-ID replays of finished jobs.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, ch := range h.subs {
+		close(ch)
+	}
+	h.subs = nil
+}

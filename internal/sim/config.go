@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/game"
 	"repro/internal/mpi"
 	"repro/internal/strategy"
@@ -102,6 +103,16 @@ type Config struct {
 	// Observer, when non-nil, is invoked after every generation with the
 	// current population snapshot. It runs on the Nature Agent.
 	Observer Observer
+	// Control, when non-nil, is polled at the top of every generation (on
+	// the Nature rank in the parallel engine, where it also tells the
+	// workers to unwind). A non-nil return stops the run at that generation
+	// boundary: the engine persists a resume snapshot to CheckpointSink
+	// (when one is configured) and returns an error wrapping both
+	// ErrStopped and the hook's error. Pause/cancel in a hosting service
+	// builds on this: resume the stopped run from the persisted snapshot
+	// via InitialStrategies / StartGeneration / BaseCounters and the
+	// trajectory continues bit-identically (for deterministic games).
+	Control func(gen int) error
 	// InitialStrategies, when non-nil, seeds the population (e.g. resuming
 	// from a checkpoint) instead of random initialisation. Length must
 	// equal NumSSets and every strategy must live in the Memory space.
@@ -237,13 +248,15 @@ func (c *Config) Validate() error {
 	if err := c.Rules.Validate(); err != nil {
 		return err
 	}
-	if c.PCRate < 0 || c.PCRate > 1 {
+	// The negated comparisons reject NaN too: a NaN rate satisfies neither
+	// bound yet would silently poison every downstream probability.
+	if !(c.PCRate >= 0 && c.PCRate <= 1) {
 		return fmt.Errorf("sim: PC rate %v out of [0,1]", c.PCRate)
 	}
-	if c.Mu < 0 || c.Mu > 1 {
+	if !(c.Mu >= 0 && c.Mu <= 1) {
 		return fmt.Errorf("sim: mutation rate %v out of [0,1]", c.Mu)
 	}
-	if c.Beta < 0 {
+	if !(c.Beta >= 0) {
 		return fmt.Errorf("sim: beta %v < 0", c.Beta)
 	}
 	if c.SampleStride < 0 {
@@ -275,6 +288,15 @@ func (c *Config) Validate() error {
 	}
 	if c.ExactPayoffs && c.UseSearchEngine {
 		return fmt.Errorf("sim: ExactPayoffs and UseSearchEngine are mutually exclusive")
+	}
+	if c.ExactPayoffs {
+		// Probe exact-mode computability once, up front: a job whose Markov
+		// analysis cannot run (rules the chain solver rejects) must fail
+		// validation here rather than surface mid-run from playPair.
+		probe := strategy.AllC(strategy.NewSpace(c.Memory))
+		if _, _, err := analysis.MarkovPayoffN(c.Rules.Payoff, probe, probe, c.Rules.ErrorRate); err != nil {
+			return fmt.Errorf("sim: exact payoffs not computable for this configuration: %w", err)
+		}
 	}
 	if c.InitialStrategies != nil {
 		if len(c.InitialStrategies) != c.NumSSets {

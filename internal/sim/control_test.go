@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/strategy"
+)
+
+// Control-hook semantics: a non-nil return stops the run at that generation
+// boundary, persists a resume snapshot, and surfaces ErrStopped; resuming
+// from the snapshot continues the trajectory bit-identically.
+
+// stopAfter returns a Control hook that requests a stop at generation g,
+// recording how many times it asked (a restart supervisor that wrongly
+// re-runs a stopped job would drive the count past one).
+func stopAfter(g int, stops *int) func(int) error {
+	return func(gen int) error {
+		if gen >= g {
+			*stops++
+			return errors.New("pause requested")
+		}
+		return nil
+	}
+}
+
+func TestControlStopAndResumeSequential(t *testing.T) {
+	const stopAt = 40
+	base := testConfig(1, 8, 120)
+	base.Seed = 81
+	base.FullRecompute = true // counters then sum exactly across the cut
+
+	full, err := RunSequential(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	sink := NewMemorySink()
+	cfg.CheckpointSink = sink
+	stops := 0
+	cfg.Control = stopAfter(stopAt, &stops)
+	if _, err := RunSequential(cfg); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stopped run error = %v, want ErrStopped", err)
+	}
+	if stops != 1 {
+		t.Fatalf("control hook asked to stop %d times, want 1", stops)
+	}
+	snap, err := sink.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Generation != stopAt {
+		t.Fatalf("resume snapshot = %+v, want generation %d", snap, stopAt)
+	}
+
+	resume := base
+	resume.InitialStrategies = snap.Strategies
+	resume.StartGeneration = int(snap.Generation)
+	resume.Generations = base.Generations - int(snap.Generation)
+	resume.BaseCounters = runToCounters(snap.Counters)
+	resumed, err := RunSequential(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Final {
+		if !full.Final[i].Equal(resumed.Final[i]) {
+			t.Fatalf("final strategy %d differs after stop/resume", i)
+		}
+	}
+	for i := range full.FinalFitness {
+		if full.FinalFitness[i] != resumed.FinalFitness[i] {
+			t.Fatalf("final fitness %d differs after stop/resume", i)
+		}
+	}
+	if full.Counters != resumed.Counters {
+		t.Fatalf("counters differ after stop/resume: %+v vs %+v", full.Counters, resumed.Counters)
+	}
+}
+
+func TestControlStopAndResumeParallel(t *testing.T) {
+	const stopAt = 20
+	base := testConfig(1, 6, 60)
+	base.Seed = 82
+	base.FullRecompute = true
+
+	full, err := RunSequential(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	sink := NewMemorySink()
+	cfg.CheckpointSink = sink
+	stops := 0
+	cfg.Control = stopAfter(stopAt, &stops)
+	if _, err := RunParallel(cfg, 4); !errors.Is(err, ErrStopped) {
+		t.Fatalf("stopped parallel run error = %v, want ErrStopped", err)
+	}
+	snap, err := sink.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Generation != stopAt {
+		t.Fatalf("resume snapshot = %+v, want generation %d", snap, stopAt)
+	}
+
+	resume := base
+	resume.InitialStrategies = snap.Strategies
+	resume.StartGeneration = int(snap.Generation)
+	resume.Generations = base.Generations - int(snap.Generation)
+	resume.BaseCounters = runToCounters(snap.Counters)
+	resumed, err := RunParallel(resume, 3) // rank count may even change across the cut
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Final {
+		if !full.Final[i].Equal(resumed.Final[i]) {
+			t.Fatalf("final strategy %d differs after parallel stop/resume", i)
+		}
+	}
+	for i := range full.FinalFitness {
+		if full.FinalFitness[i] != resumed.FinalFitness[i] {
+			t.Fatalf("final fitness %d differs after parallel stop/resume", i)
+		}
+	}
+}
+
+func TestControlStopWithoutSinkStillStops(t *testing.T) {
+	cfg := testConfig(1, 4, 30)
+	stops := 0
+	cfg.Control = stopAfter(10, &stops)
+	if _, err := RunSequential(cfg); !errors.Is(err, ErrStopped) {
+		t.Fatalf("error = %v, want ErrStopped", err)
+	}
+}
+
+func TestResilientDoesNotRestartOnControlStop(t *testing.T) {
+	cfg := testConfig(1, 6, 50)
+	cfg.Seed = 83
+	cfg.CheckpointEvery = 5
+	cfg.CheckpointSink = NewMemorySink()
+	stops := 0
+	cfg.Control = stopAfter(15, &stops)
+	_, err := RunParallelResilient(cfg, 3, RestartPolicy{})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("supervised stop error = %v, want ErrStopped", err)
+	}
+	if stops != 1 {
+		t.Fatalf("supervisor re-ran a stopped job: control asked to stop %d times", stops)
+	}
+}
+
+func TestExactModeErrorPropagatesInsteadOfPanicking(t *testing.T) {
+	// Regression: playPair used to panic when MarkovPayoffN failed mid-run.
+	// Validate screens configurations up front, so force a runtime failure
+	// the way a buggy caller could: an observer injecting a strategy from the
+	// wrong memory space, which poisons the next generation's exact analysis.
+	cfg := testConfig(2, 4, 3)
+	cfg.ExactPayoffs = true
+	wrong := strategy.AllC(strategy.NewSpace(1))
+	cfg.Observer = ObserverFunc(func(gen int, pop *Population, ev Events) {
+		if gen == 0 {
+			pop.SetStrategy(0, wrong)
+		}
+	})
+	_, err := RunSequential(cfg)
+	if err == nil {
+		t.Fatal("exact-mode analysis failure did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), "exact payoff for pair") {
+		t.Fatalf("error = %v, want a playPair exact-payoff error", err)
+	}
+}
+
+func TestValidateRejectsNonFiniteParameters(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"pc rate", func(c *Config) { c.PCRate = nan }},
+		{"mutation rate", func(c *Config) { c.Mu = nan }},
+		{"beta", func(c *Config) { c.Beta = nan }},
+		{"error rate", func(c *Config) { c.Rules.ErrorRate = nan }},
+	}
+	for _, tc := range cases {
+		cfg := testConfig(1, 4, 10)
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: NaN accepted by Validate", tc.name)
+		}
+	}
+}
+
+func TestValidateProbesExactModeComputability(t *testing.T) {
+	// A well-formed exact-mode configuration must pass the up-front probe
+	// at every supported memory depth.
+	for mem := 1; mem <= 3; mem++ {
+		cfg := testConfig(mem, 4, 10)
+		cfg.ExactPayoffs = true
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("memory %d: exact-mode config rejected: %v", mem, err)
+		}
+	}
+}

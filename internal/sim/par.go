@@ -116,9 +116,17 @@ func (u update) WireBytes() uint64 {
 type selection struct {
 	PC               bool
 	Teacher, Learner int
+	// Stop tells workers the run is ending at this generation boundary on a
+	// control-hook request (pause/cancel); no update broadcast follows and
+	// every rank exits. It rides in the selection slot because workers play a
+	// generation's games before hearing from Nature — this broadcast is the
+	// first rendezvous where a stop can reach them.
+	Stop bool
 }
 
-// WireBytes models the selection broadcast payload.
+// WireBytes models the selection broadcast payload. Stop packs into the
+// header words already counted, keeping the modelled size — and the pinned
+// comm-byte accounting in the backend-parity tests — unchanged.
 func (selection) WireBytes() uint64 { return 3 * 8 }
 
 // resume is the Nature Agent's post-eviction broadcast on the shrunk
@@ -206,16 +214,15 @@ func RunParallel(cfg Config, ranks int) (*Result, error) {
 	err := world.Run(func(c *mpi.Comm) error {
 		if c.Rank() == 0 {
 			res, err := natureRank(cfg, c)
-			if err != nil {
-				return err
-			}
+			// On a control-hook stop res is the partial result (series up to
+			// the stop); keep it so the caller can stitch across a pause.
 			result = res
-			return nil
+			return err
 		}
 		return workerRank(cfg, c)
 	})
 	if err != nil {
-		return nil, err
+		return result, err
 	}
 	result.Elapsed = time.Since(start) //egdlint:allow determinism elapsed-time metadata, not part of the trajectory
 	result.Evictions = len(world.Evictions())
@@ -551,6 +558,19 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 	}
 
 	for gen < end {
+		// Control poll at the generation boundary: a stop is announced via a
+		// Stop selection broadcast (the workers' next rendezvous — they are
+		// already playing this generation's games) before Nature persists the
+		// resume snapshot and exits. The partial Result rides along with
+		// ErrStopped so the caller keeps the series sampled before the cut.
+		if cfg.Control != nil {
+			if cause := cfg.Control(gen); cause != nil {
+				if _, err := c.Bcast(0, selection{Stop: true}); err != nil {
+					return nil, err
+				}
+				return res, stopRun(&cfg, pop, gen, res.Counters, cause)
+			}
+		}
 		if cfg.Evict {
 			takeSnap()
 		}
@@ -619,24 +639,37 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 		pt = newPhaseTimer()
 	}
 
-	// refresh replays the owned pairs whose participants changed.
-	refresh := func(g int) {
+	// refresh replays the owned pairs whose participants changed. A playPair
+	// failure (exact-mode analysis error) aborts the pass: it is a
+	// configuration fault, not a rank failure, so it propagates out of the
+	// run instead of triggering eviction.
+	refresh := func(g int) error {
 		for k := lo; k < hi; k++ {
 			i, j := pairToIJ(s, k)
 			if cfg.FullRecompute || pop.dirty[i] || pop.dirty[j] {
-				payoffs[k-lo] = playPair(&cfg, master, eng, g, i, j, pop.strategies[i], pop.strategies[j])
+				v, err := playPair(&cfg, master, eng, g, i, j, pop.strategies[i], pop.strategies[j])
+				if err != nil {
+					return err
+				}
+				payoffs[k-lo] = v
 				games++
 			}
 		}
+		return nil
 	}
 	// replayAll recomputes the whole owned block from generation g's
 	// streams, regardless of dirtiness — the post-eviction rebuild.
-	replayAll := func(g int) {
+	replayAll := func(g int) error {
 		for k := lo; k < hi; k++ {
 			i, j := pairToIJ(s, k)
-			payoffs[k-lo] = playPair(&cfg, master, eng, g, i, j, pop.strategies[i], pop.strategies[j])
+			v, err := playPair(&cfg, master, eng, g, i, j, pop.strategies[i], pop.strategies[j])
+			if err != nil {
+				return err
+			}
+			payoffs[k-lo] = v
 			games++
 		}
+		return nil
 	}
 	// segment extracts the owned, contiguous payoff slice of SSet i's row
 	// (nil when this worker owns none of it).
@@ -655,10 +688,12 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 		// Game dynamics: replay this worker's pairs.
 		tg := pt.begin()
 		if pendingFull {
-			replayAll(replayGen)
 			pendingFull = false
-		} else {
-			refresh(gen)
+			if err := replayAll(replayGen); err != nil {
+				return err
+			}
+		} else if err := refresh(gen); err != nil {
+			return err
 		}
 		pt.end(PhaseGamePlay, tg)
 		pop.clearDirty()
@@ -671,6 +706,11 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 		}
 		pt.end(PhaseBroadcast, tb)
 		sel := selAny.(selection)
+		if sel.Stop {
+			// Nature's control hook stopped the run; the outer loop turns
+			// this into a clean worker exit.
+			return fmt.Errorf("sim: worker %d: %w", c.Rank(), ErrStopped)
+		}
 		if sel.PC {
 			// Owners of the selected rows return their segments; teacher
 			// before learner so Nature's ordered receives match when one
@@ -722,9 +762,11 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 		// block before shipping it.
 		if pendingFull {
 			tg := pt.begin()
-			replayAll(replayGen)
-			pt.end(PhaseGamePlay, tg)
 			pendingFull = false
+			if err := replayAll(replayGen); err != nil {
+				return err
+			}
+			pt.end(PhaseGamePlay, tg)
 		}
 		// Ship the final payoff block and the game counter to Nature.
 		final := make([]float64, len(payoffs))
@@ -816,6 +858,11 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 		if err == nil {
 			gen++
 			continue
+		}
+		if errors.Is(err, ErrStopped) {
+			// Control stop announced by Nature: exit cleanly so the run's
+			// only error is Nature's, carrying the snapshot outcome.
+			return nil
 		}
 		nc, rerr := recoverLive(c, err)
 		if rerr != nil {

@@ -81,9 +81,14 @@ func (p *Population) Payoff(i, j int) float64 { return p.payoff[i*len(p.strategi
 func (p *Population) setPayoff(i, j int, v float64) { p.payoff[i*len(p.strategies)+j] = v }
 
 // Fitness returns SSet i's relative fitness: its mean per-round payoff
-// averaged over all opponents. This is the paper's relative_fitness with a
-// 1/((S-1)*rounds) normalisation so that the Fermi exponent works on
-// per-round payoff scale regardless of population size.
+// averaged over all S-1 opponents. The payoff table already stores mean
+// per-round payoffs (game.Result.Mean0 divides by rounds; exact mode is
+// per-round by construction), so the only normalisation applied here is
+// 1/(S-1) — together they realise the paper's 1/((S-1)*rounds) scaling of
+// raw match totals. The Fermi exponent therefore always works on the
+// per-round payoff scale ([S..T], 1 = all-defect to 3 = full cooperation
+// under the standard payoff), independent of population size and match
+// length.
 func (p *Population) Fitness(i int) float64 {
 	s := len(p.strategies)
 	total := 0.0
@@ -190,15 +195,18 @@ func Fermi(beta, piT, piL float64) float64 {
 // any rank layout — replay identical games. In exact mode the sampled match
 // is replaced by the infinite-game Markov payoff, which needs no randomness
 // at all.
-func playPair(cfg *Config, master *rng.Source, eng *game.SearchEngine, gen, i, j int, si, sj strategy.Strategy) float64 {
+func playPair(cfg *Config, master *rng.Source, eng *game.SearchEngine, gen, i, j int, si, sj strategy.Strategy) (float64, error) {
 	if cfg.ExactPayoffs {
 		pi0, _, err := analysis.MarkovPayoffN(cfg.Rules.Payoff, si, sj, cfg.Rules.ErrorRate)
 		if err != nil {
-			// Spaces are validated at population construction; any failure
-			// here is a programming error.
-			panic(fmt.Sprintf("sim: exact payoff: %v", err))
+			// Config.Validate probes exact-mode computability up front, so
+			// this is nearly unreachable — but a malformed job (say, an
+			// observer injecting a wrong-space strategy) must surface as an
+			// error the caller can fail one run with, never a panic that
+			// takes down a long-running daemon hosting many runs.
+			return 0, fmt.Errorf("sim: exact payoff for pair (%d,%d) at generation %d: %w", i, j, gen, err)
 		}
-		return pi0
+		return pi0, nil
 	}
 	src := master.Derive(0x6A3E, uint64(gen), uint64(i), uint64(j))
 	var res game.Result
@@ -207,7 +215,7 @@ func playPair(cfg *Config, master *rng.Source, eng *game.SearchEngine, gen, i, j
 	} else {
 		res = game.Play(cfg.Rules, si, sj, src)
 	}
-	return res.Mean0()
+	return res.Mean0(), nil
 }
 
 // refreshPayoffs brings the payoff table up to date for generation gen over
@@ -215,8 +223,9 @@ func playPair(cfg *Config, master *rng.Source, eng *game.SearchEngine, gen, i, j
 // mode every owned row is replayed; in incremental mode only games
 // involving a dirty SSet are. Column entries i<j and j<i are separate games,
 // exactly as in the paper where each SSet's own agents model all its
-// matches. Returns the number of games played.
-func refreshPayoffs(cfg *Config, pop *Population, master *rng.Source, eng *game.SearchEngine, gen, lo, hi int) uint64 {
+// matches. Returns the number of games played; a playPair failure aborts
+// the refresh and propagates so the run fails cleanly instead of panicking.
+func refreshPayoffs(cfg *Config, pop *Population, master *rng.Source, eng *game.SearchEngine, gen, lo, hi int) (uint64, error) {
 	games := uint64(0)
 	s := pop.Size()
 	for i := lo; i < hi; i++ {
@@ -226,12 +235,16 @@ func refreshPayoffs(cfg *Config, pop *Population, master *rng.Source, eng *game.
 				continue
 			}
 			if replayAll || pop.dirty[j] {
-				pop.setPayoff(i, j, playPair(cfg, master, eng, gen, i, j, pop.strategies[i], pop.strategies[j]))
+				v, err := playPair(cfg, master, eng, gen, i, j, pop.strategies[i], pop.strategies[j])
+				if err != nil {
+					return games, err
+				}
+				pop.setPayoff(i, j, v)
 				games++
 			}
 		}
 	}
-	return games
+	return games, nil
 }
 
 // clearDirty resets the dirty marks after all owners refreshed their rows.

@@ -84,6 +84,33 @@ func TestFitnessFromPayoffs(t *testing.T) {
 	}
 }
 
+func TestFitnessScaleIsPerRound(t *testing.T) {
+	// The Fermi-exponent contract: fitness is a mean PER-ROUND payoff
+	// averaged over S-1 opponents — the payoff table already divides by the
+	// match length, so fitness must not change with Rules.Rounds. AllD in a
+	// field of AllC earns exactly the temptation payoff every round.
+	for _, rounds := range []int{10, 200} {
+		cfg := testConfig(1, 4, 0)
+		cfg.Rules.Rounds = rounds
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		master := rng.New(13)
+		pop := NewPopulation(cfg, master)
+		pop.SetStrategy(0, strategy.AllD(pop.Space()))
+		for i := 1; i < pop.Size(); i++ {
+			pop.SetStrategy(i, strategy.AllC(pop.Space()))
+		}
+		if _, err := refreshPayoffs(&cfg, pop, master, nil, 0, 0, pop.Size()); err != nil {
+			t.Fatal(err)
+		}
+		if got := pop.Fitness(0); got != cfg.Rules.Payoff.T {
+			t.Fatalf("rounds=%d: AllD fitness = %v, want temptation %v (per-round scale)",
+				rounds, got, cfg.Rules.Payoff.T)
+		}
+	}
+}
+
 func TestFractionMatchingAndNear(t *testing.T) {
 	cfg := testConfig(1, 4, 0)
 	_ = cfg.Validate()
@@ -268,25 +295,28 @@ func TestRefreshPayoffsIncremental(t *testing.T) {
 	master := rng.New(9)
 	pop := NewPopulation(cfg, master)
 	// First refresh: everything dirty -> S*(S-1) games.
-	games := refreshPayoffs(&cfg, pop, master, nil, 0, 0, pop.Size())
+	games, err := refreshPayoffs(&cfg, pop, master, nil, 0, 0, pop.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if games != 30 {
 		t.Fatalf("initial refresh played %d games, want 30", games)
 	}
 	pop.clearDirty()
 	// Nothing changed: zero games.
-	if g := refreshPayoffs(&cfg, pop, master, nil, 1, 0, pop.Size()); g != 0 {
-		t.Fatalf("clean refresh played %d games", g)
+	if g, err := refreshPayoffs(&cfg, pop, master, nil, 1, 0, pop.Size()); err != nil || g != 0 {
+		t.Fatalf("clean refresh played %d games (err %v)", g, err)
 	}
 	// One SSet changes: its row (5 games) plus its column (5 games).
 	pop.SetStrategy(2, strategy.AllD(pop.Space()))
-	if g := refreshPayoffs(&cfg, pop, master, nil, 2, 0, pop.Size()); g != 10 {
-		t.Fatalf("single-change refresh played %d games, want 10", g)
+	if g, err := refreshPayoffs(&cfg, pop, master, nil, 2, 0, pop.Size()); err != nil || g != 10 {
+		t.Fatalf("single-change refresh played %d games, want 10 (err %v)", g, err)
 	}
 	pop.clearDirty()
 	// Full recompute mode: always S*(S-1).
 	cfg.FullRecompute = true
-	if g := refreshPayoffs(&cfg, pop, master, nil, 3, 0, pop.Size()); g != 30 {
-		t.Fatalf("full recompute played %d games, want 30", g)
+	if g, err := refreshPayoffs(&cfg, pop, master, nil, 3, 0, pop.Size()); err != nil || g != 30 {
+		t.Fatalf("full recompute played %d games, want 30 (err %v)", g, err)
 	}
 }
 
@@ -297,7 +327,9 @@ func TestPayoffValuesMatchDirectPlay(t *testing.T) {
 	pop := NewPopulation(cfg, master)
 	pop.SetStrategy(0, strategy.AllC(pop.Space()))
 	pop.SetStrategy(1, strategy.AllD(pop.Space()))
-	refreshPayoffs(&cfg, pop, master, nil, 0, 0, pop.Size())
+	if _, err := refreshPayoffs(&cfg, pop, master, nil, 0, 0, pop.Size()); err != nil {
+		t.Fatal(err)
+	}
 	// ALLC vs ALLD: sucker payoff 0 per round; ALLD vs ALLC: temptation 4.
 	if got := pop.Payoff(0, 1); got != 0 {
 		t.Fatalf("payoff(ALLC,ALLD) = %v", got)

@@ -108,6 +108,13 @@ func RunParallelResilient(cfg Config, ranks int, policy RestartPolicy) (*Result,
 			res.Restarts = attempt
 			return res, nil
 		}
+		// A control-hook stop is a requested outcome, not a fault: return it
+		// unchanged (with the partial result) so the caller (a pausing job
+		// service, say) sees ErrStopped instead of the supervisor re-running
+		// the stopped work.
+		if errors.Is(err, ErrStopped) {
+			return res, err
+		}
 
 		failedRank := -1
 		var rf *mpi.RankFailedError

@@ -33,9 +33,23 @@ func RunSequential(cfg Config) (*Result, error) {
 	}
 
 	for gen := cfg.StartGeneration; gen < cfg.StartGeneration+cfg.Generations; gen++ {
+		// Control poll: a non-nil return stops the run at this generation
+		// boundary (pause/cancel for a hosting service). The partial Result
+		// rides along with ErrStopped so the caller keeps the series sampled
+		// before the cut; a resumed segment's series appended to it is
+		// bit-identical to an uninterrupted run's.
+		if cfg.Control != nil {
+			if cause := cfg.Control(gen); cause != nil {
+				return res, stopRun(&cfg, pop, gen, res.Counters, cause)
+			}
+		}
 		// Game dynamics: bring every SSet's payoff row up to date.
 		tg := pt.begin()
-		res.Counters.GamesPlayed += refreshPayoffs(&cfg, pop, master, eng, gen, 0, pop.Size())
+		played, err := refreshPayoffs(&cfg, pop, master, eng, gen, 0, pop.Size())
+		res.Counters.GamesPlayed += played
+		if err != nil {
+			return nil, err
+		}
 		pt.end(PhaseGamePlay, tg)
 		pop.clearDirty()
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -64,24 +65,42 @@ func (m *MemorySink) Saves() int {
 	return m.saves
 }
 
-// FileSink persists the latest snapshot to a single file, atomically
-// (write to a temporary file in the same directory, then rename), so a
-// crash mid-write can never corrupt the previous good checkpoint.
+// FileSink persists the latest snapshot to a single file, atomically and
+// durably: write to a temporary file in the same directory, fsync it, rename
+// over the target, then fsync the directory. A crash at any point leaves
+// either the previous good checkpoint or the new one — never a torn or
+// zero-length file (a rename alone is atomic in the namespace but not
+// durable: after a power loss the directory entry can point at a file whose
+// data never reached disk).
 type FileSink struct {
 	Path string
+
+	// writeFn overrides the snapshot encoder (tests inject failures mid-write
+	// to prove a torn write never replaces the previous checkpoint); nil
+	// means checkpoint.Write.
+	writeFn func(w io.Writer, s *checkpoint.Snapshot) error
 }
 
 // Save implements CheckpointSink.
 func (f *FileSink) Save(s *checkpoint.Snapshot) error {
+	write := f.writeFn
+	if write == nil {
+		write = checkpoint.Write
+	}
 	dir := filepath.Dir(f.Path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(f.Path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("sim: checkpoint temp file: %w", err)
 	}
-	if err := checkpoint.Write(tmp, s); err != nil {
+	if err := write(tmp, s); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: checkpoint fsync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
@@ -90,6 +109,19 @@ func (f *FileSink) Save(s *checkpoint.Snapshot) error {
 	if err := os.Rename(tmp.Name(), f.Path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("sim: checkpoint rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint dir open: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("sim: checkpoint dir fsync: %w", err)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -86,5 +88,40 @@ func TestFileSinkRoundTrip(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("checkpoint dir has %d entries, want 1", len(entries))
+	}
+}
+
+func TestFileSinkTornWriteKeepsPreviousCheckpoint(t *testing.T) {
+	// A write that fails part-way (disk full, crash) must never replace the
+	// previous good checkpoint, and must clean up its temp file.
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	sink := &FileSink{Path: path}
+	if err := sink.Save(sinkSnapshot(100)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("torn write: device full")
+	sink.writeFn = func(w io.Writer, s *checkpoint.Snapshot) error {
+		if _, err := w.Write([]byte("partial garbage")); err != nil {
+			return err
+		}
+		return boom
+	}
+	if err := sink.Save(sinkSnapshot(200)); !errors.Is(err, boom) {
+		t.Fatalf("torn Save error = %v, want %v", err, boom)
+	}
+	sink.writeFn = nil
+	snap, err := sink.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Generation != 100 {
+		t.Fatalf("after torn write Latest = %+v, want the generation-100 snapshot", snap)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("torn write littered the checkpoint dir: %d entries", len(entries))
 	}
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the egdserve daemon over real HTTP: boot it on an
+# ephemeral port, drive a job to completion, stream its SSE timeline, then
+# pause a long run mid-flight, resume it, and assert its /result is
+# byte-identical (minus job id and elapsed time) to the same spec run
+# uninterrupted. Finishes with a SIGTERM and asserts a clean shutdown.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+SERVE_PID=
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building egdserve"
+$GO build -o "$TMP/egdserve" ./cmd/egdserve
+
+"$TMP/egdserve" -addr 127.0.0.1:0 -workers 2 > "$TMP/serve.out" 2>&1 &
+SERVE_PID=$!
+
+BASE=
+for _ in $(seq 1 100); do
+    BASE=$(sed -n 's/^egdserve: listening on //p' "$TMP/serve.out")
+    [ -n "$BASE" ] && break
+    sleep 0.1
+done
+if [ -z "$BASE" ]; then
+    echo "serve-smoke: FAIL: daemon never came up" >&2
+    cat "$TMP/serve.out" >&2
+    exit 1
+fi
+echo "serve-smoke: daemon at $BASE"
+
+curl -fsS "$BASE/healthz" > /dev/null
+
+submit() { curl -fsS -X POST -d "$1" "$BASE/api/v1/jobs" | sed -n 's/.*"id": "\(j-[0-9]*\)".*/\1/p'; }
+state()  { curl -fsS "$BASE/api/v1/jobs/$1" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p'; }
+gen()    { curl -fsS "$BASE/api/v1/jobs/$1" | sed -n 's/.*"generation": \([0-9]*\).*/\1/p'; }
+
+wait_state() { # job id, wanted state
+    for _ in $(seq 1 600); do
+        s=$(state "$1")
+        [ "$s" = "$2" ] && return 0
+        case "$s" in failed|canceled)
+            echo "serve-smoke: FAIL: job $1 settled as $s while waiting for $2" >&2
+            curl -fsS "$BASE/api/v1/jobs/$1" >&2
+            return 1;;
+        esac
+        sleep 0.05
+    done
+    echo "serve-smoke: FAIL: job $1 never reached $2 (last: $(state "$1"))" >&2
+    return 1
+}
+
+echo "serve-smoke: small job runs to completion"
+SMALL=$(submit '{"memory":1,"ssets":8,"generations":200,"rounds":20,"seed":7,"sample_stride":20}')
+wait_state "$SMALL" done
+curl -fsS "$BASE/api/v1/jobs/$SMALL/result" | grep -q '"final_fitness"'
+
+echo "serve-smoke: SSE timeline replays for the finished job"
+curl -fsS --max-time 30 -N "$BASE/api/v1/jobs/$SMALL/events" > "$TMP/sse.out"
+grep -q '^event: sample' "$TMP/sse.out"
+grep -q '"state":"done"' "$TMP/sse.out"
+
+echo "serve-smoke: pause/resume parity against an uninterrupted run"
+SPEC='{"memory":1,"ssets":12,"generations":6000,"rounds":100,"seed":99,"full_recompute":true}'
+A=$(submit "$SPEC")
+for _ in $(seq 1 400); do
+    g=$(gen "$A")
+    [ -n "$g" ] && [ "$g" -ge 100 ] && break
+    sleep 0.02
+done
+curl -fsS -X POST "$BASE/api/v1/jobs/$A/pause" > /dev/null
+wait_state "$A" paused
+PAUSED_AT=$(gen "$A")
+echo "serve-smoke: paused $A at generation $PAUSED_AT"
+curl -fsS -X POST "$BASE/api/v1/jobs/$A/resume" > /dev/null
+wait_state "$A" done
+curl -fsS "$BASE/api/v1/jobs/$A/result" | grep -v '"id"\|"elapsed_seconds"' > "$TMP/paused.json"
+
+B=$(submit "$SPEC")
+wait_state "$B" done
+curl -fsS "$BASE/api/v1/jobs/$B/result" | grep -v '"id"\|"elapsed_seconds"' > "$TMP/straight.json"
+
+if ! diff -u "$TMP/straight.json" "$TMP/paused.json"; then
+    echo "serve-smoke: FAIL: paused+resumed result diverged from the uninterrupted run" >&2
+    exit 1
+fi
+
+echo "serve-smoke: daemon metrics cover the finished jobs"
+curl -fsS "$BASE/metrics" | grep -q 'egd_server_jobs_finished_total{state="done"} 3'
+
+echo "serve-smoke: SIGTERM shuts the daemon down cleanly"
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=
+if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: FAIL: daemon exited with status $rc" >&2
+    cat "$TMP/serve.out" >&2
+    exit 1
+fi
+grep -q 'shutting down' "$TMP/serve.out"
+
+echo "serve-smoke: PASS"
