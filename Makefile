@@ -30,12 +30,14 @@ strict:
 	$(GO) test -tags mpistrict ./internal/mpi ./internal/sim
 
 # Short fuzz pass over every fuzz target that guards a parser: the
-# checkpoint wire format, the fault-spec grammar, and the trace CSV.
+# checkpoint wire format, the fault-spec grammar, the trace CSV, and the
+# job-store journal replayer (arbitrary tail damage must never panic).
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
 	$(GO) test -fuzz=FuzzParseFault -fuzztime=10s ./internal/mpi
 	$(GO) test -fuzz=FuzzWireFrame -fuzztime=10s ./internal/mpi
 	$(GO) test -fuzz=FuzzParseCSV -fuzztime=10s ./internal/trace
+	$(GO) test -fuzz=FuzzJournalTail -fuzztime=10s ./internal/server
 
 # Multi-process chaos smoke: egdrun spawns a real worker fleet over unix
 # sockets, runs a seeded config fault-free, then reruns it with one worker
@@ -47,7 +49,9 @@ chaos:
 # Service smoke: boot egdserve on an ephemeral port and drive the job
 # lifecycle over real HTTP — submit, SSE stream, pause mid-run, resume,
 # and assert the resumed /result matches an uninterrupted run's bit for
-# bit (see scripts/serve_smoke.sh).
+# bit; then kill -9 a durable (-data-dir) daemon mid-job, restart it over
+# the same directory, and assert the recovered job's /result is identical
+# too (see scripts/serve_smoke.sh).
 serve-smoke:
 	./scripts/serve_smoke.sh
 

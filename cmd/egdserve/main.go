@@ -7,9 +7,15 @@
 // budgets, and per-tenant quotas plus token-bucket rate limits keep the
 // service fair under heavy traffic (see docs/SERVICE.md).
 //
+// With -data-dir the job table is durable: every transition is journaled
+// to an fsync'd write-ahead log and running jobs checkpoint to disk, so a
+// crashed or drained daemon restarted over the same directory resumes
+// interrupted jobs and finishes them bit-identically.
+//
 // Examples:
 //
 //	egdserve -addr :8080 -workers 4
+//	egdserve -addr :8080 -data-dir /var/lib/egdserve -drain-timeout 60s
 //	egdserve -addr 127.0.0.1:0 -workers 8 -max-job-seconds 3600 \
 //	    -tenant-max-active 16 -tenant-rate 5 -tenant-burst 10 -cal host
 package main
@@ -58,6 +64,9 @@ func run(args []string, out io.Writer) error {
 	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant submissions per second (0 = unlimited)")
 	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant submission burst (with -tenant-rate)")
 	cal := fs.String("cal", "paper", "admission cost calibration: paper (deterministic) or host (measured)")
+	dataDir := fs.String("data-dir", "", "durable job store directory: journal every job transition and recover interrupted jobs on restart (empty = in-memory only)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "with -data-dir, how long shutdown waits for running jobs to reach a generation boundary and checkpoint")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "with -data-dir, snapshot cadence in generations for jobs whose spec sets none (0 = 250)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,7 +84,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown calibration %q (want paper or host)", *cal)
 	}
 
-	srv := server.New(server.Options{
+	srv, err := server.New(server.Options{
 		Workers:               *workers,
 		QueueDepth:            *queue,
 		MaxJobSeconds:         *maxJobSeconds,
@@ -85,8 +94,16 @@ func run(args []string, out io.Writer) error {
 			RatePerSec: *tenantRate,
 			Burst:      *tenantBurst,
 		},
-		Cost: cost,
+		Cost:            cost,
+		DataDir:         *dataDir,
+		CheckpointEvery: *checkpointEvery,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		},
 	})
+	if err != nil {
+		return err
+	}
 	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -109,7 +126,20 @@ func run(args []string, out io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(out, "egdserve: shutting down")
+	if *dataDir != "" {
+		// Durable shutdown is a drain: running jobs stop at the next
+		// generation boundary with a checkpoint on disk and are journaled
+		// queued, the journal gets its clean marker, and the next boot
+		// resumes every interrupted trajectory bit-identically.
+		fmt.Fprintln(out, "egdserve: draining (running jobs checkpoint and park)")
+		if err := srv.Drain(*drainTimeout); err != nil {
+			fmt.Fprintln(out, "egdserve:", err)
+		} else {
+			fmt.Fprintln(out, "egdserve: drain complete, journal clean")
+		}
+	} else {
+		fmt.Fprintln(out, "egdserve: shutting down")
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {

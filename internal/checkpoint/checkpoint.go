@@ -18,14 +18,22 @@ import (
 )
 
 // Magic and version identify the stream format. Version 2 appends the run
-// counters after the fitness block; Write emits the lowest version that can
-// represent the snapshot, so counter-less snapshots stay byte-identical to
-// version 1 streams and Read accepts both.
+// counters after the fitness block; version 3 makes the counters block
+// optional behind a presence byte and appends the sampled series. Write
+// emits the lowest version that can represent the snapshot, so counter-less
+// snapshots stay byte-identical to version 1 streams, series-less ones to
+// version 2 streams, and Read accepts all three.
 const (
 	Magic           uint32 = 0x45474431 // "EGD1"
 	Version         uint16 = 1
 	VersionCounters uint16 = 2
+	VersionSeries   uint16 = 3
 )
+
+// maxSeriesPoints bounds a decoded series block (a run samples ~1000
+// points by default; the cap rejects implausible streams before the
+// decoder commits a large allocation to them).
+const maxSeriesPoints = 1 << 20
 
 // Strategy kind tags in the stream.
 const (
@@ -50,6 +58,20 @@ type Snapshot struct {
 	// resumed run can report totals identical to an uninterrupted one. Nil
 	// means not recorded (and the snapshot encodes as version 1).
 	Counters *RunCounters
+	// MeanFitness and Cooperation optionally carry the sampled series up to
+	// the snapshot generation (sim.Config.CheckpointSeries), so a service
+	// that resumes a crashed run from this snapshot can serve a stitched
+	// series identical to an uninterrupted run's. Nil means not recorded
+	// (and the snapshot encodes as version <= 2); non-nil but empty is
+	// recorded and survives a round trip.
+	MeanFitness []SeriesPoint
+	Cooperation []SeriesPoint
+}
+
+// SeriesPoint is one retained sample of a per-generation series.
+type SeriesPoint struct {
+	Generation uint64
+	Value      float64
 }
 
 // RunCounters mirrors sim.Counters without importing it (checkpoint is a
@@ -97,6 +119,9 @@ func Write(w io.Writer, s *Snapshot) error {
 	if s.Counters != nil {
 		version = VersionCounters
 	}
+	if s.MeanFitness != nil || s.Cooperation != nil {
+		version = VersionSeries
+	}
 	_ = binary.Write(bw, binary.LittleEndian, version)
 	_ = bw.WriteByte(byte(s.Memory))
 	_ = bw.WriteByte(0) // reserved
@@ -136,11 +161,27 @@ func Write(w io.Writer, s *Snapshot) error {
 			writeU64(math.Float64bits(f))
 		}
 	}
+	if version >= VersionSeries {
+		hasCounters := uint8(0)
+		if s.Counters != nil {
+			hasCounters = 1
+		}
+		_ = bw.WriteByte(hasCounters)
+	}
 	if s.Counters != nil {
 		writeU64(s.Counters.GamesPlayed)
 		writeU64(s.Counters.PCEvents)
 		writeU64(s.Counters.Adoptions)
 		writeU64(s.Counters.Mutations)
+	}
+	if version >= VersionSeries {
+		for _, series := range [][]SeriesPoint{s.MeanFitness, s.Cooperation} {
+			writeU32(uint32(len(series)))
+			for _, p := range series {
+				writeU64(p.Generation)
+				writeU64(math.Float64bits(p.Value))
+			}
+		}
 	}
 	return bw.Flush()
 }
@@ -159,7 +200,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != Version && version != VersionCounters {
+	if version < Version || version > VersionSeries {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", version)
 	}
 	memByte, err := br.ReadByte()
@@ -248,7 +289,18 @@ func Read(r io.Reader) (*Snapshot, error) {
 			s.Fitness[i] = math.Float64frombits(bits64)
 		}
 	}
-	if version >= VersionCounters {
+	hasCounters := version == VersionCounters
+	if version >= VersionSeries {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: reading counters flag: %w", err)
+		}
+		if b > 1 {
+			return nil, fmt.Errorf("checkpoint: bad counters flag %d", b)
+		}
+		hasCounters = b == 1
+	}
+	if hasCounters {
 		s.Counters = &RunCounters{}
 		for _, field := range []*uint64{
 			&s.Counters.GamesPlayed, &s.Counters.PCEvents,
@@ -257,6 +309,30 @@ func Read(r io.Reader) (*Snapshot, error) {
 			if err := binary.Read(br, binary.LittleEndian, field); err != nil {
 				return nil, fmt.Errorf("checkpoint: reading counters: %w", err)
 			}
+		}
+	}
+	if version >= VersionSeries {
+		for _, dst := range []*[]SeriesPoint{&s.MeanFitness, &s.Cooperation} {
+			var n uint32
+			if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+				return nil, fmt.Errorf("checkpoint: reading series length: %w", err)
+			}
+			if n > maxSeriesPoints {
+				return nil, fmt.Errorf("checkpoint: implausible series length %d", n)
+			}
+			// Non-nil even when empty, so the round trip keeps version 3.
+			pts := make([]SeriesPoint, n)
+			for i := range pts {
+				var bits64 uint64
+				if err := binary.Read(br, binary.LittleEndian, &pts[i].Generation); err != nil {
+					return nil, err
+				}
+				if err := binary.Read(br, binary.LittleEndian, &bits64); err != nil {
+					return nil, err
+				}
+				pts[i].Value = math.Float64frombits(bits64)
+			}
+			*dst = pts
 		}
 	}
 	return s, nil

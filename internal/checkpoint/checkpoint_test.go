@@ -288,3 +288,86 @@ func TestWriteRejectsInvalid(t *testing.T) {
 		t.Fatal("invalid snapshot written")
 	}
 }
+
+func TestSeriesRoundTrip(t *testing.T) {
+	s := pureSnapshot(t, 2, 5)
+	s.Counters = &RunCounters{GamesPlayed: 10, PCEvents: 2, Adoptions: 1, Mutations: 3}
+	s.MeanFitness = []SeriesPoint{{Generation: 0, Value: 1.25}, {Generation: 7, Value: 2.5}}
+	s.Cooperation = []SeriesPoint{{Generation: 0, Value: 0.5}}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if v := buf.Bytes()[4]; v != byte(VersionSeries) {
+		t.Fatalf("stream version = %d, want %d", v, VersionSeries)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.MeanFitness) != 2 || got.MeanFitness[1] != s.MeanFitness[1] {
+		t.Fatalf("mean fitness series: got %+v, want %+v", got.MeanFitness, s.MeanFitness)
+	}
+	if len(got.Cooperation) != 1 || got.Cooperation[0] != s.Cooperation[0] {
+		t.Fatalf("cooperation series: got %+v, want %+v", got.Cooperation, s.Cooperation)
+	}
+	if got.Counters == nil || *got.Counters != *s.Counters {
+		t.Fatalf("counters: got %+v, want %+v", got.Counters, s.Counters)
+	}
+
+	// A truncated series block errors instead of silently shortening.
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Fatal("truncated series block accepted")
+	}
+}
+
+func TestSeriesEmptyButRecordedSurvivesRoundTrip(t *testing.T) {
+	// Non-nil empty series mark "recorded, nothing sampled yet" and must
+	// keep the version-3 encoding through a round trip (the fuzz target's
+	// re-encode check depends on it). Counters stay absent.
+	s := pureSnapshot(t, 1, 2)
+	s.MeanFitness = []SeriesPoint{}
+	s.Cooperation = []SeriesPoint{}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MeanFitness == nil || got.Cooperation == nil {
+		t.Fatal("recorded-but-empty series decoded as nil")
+	}
+	if got.Counters != nil {
+		t.Fatalf("counters materialised without a counter block: %+v", got.Counters)
+	}
+	var again bytes.Buffer
+	if err := Write(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if v := again.Bytes()[4]; v != byte(VersionSeries) {
+		t.Fatalf("re-encoded version = %d, want %d", v, VersionSeries)
+	}
+}
+
+func TestSeriesRejectsImplausibleLength(t *testing.T) {
+	s := pureSnapshot(t, 1, 2)
+	s.MeanFitness = []SeriesPoint{}
+	s.Cooperation = []SeriesPoint{}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Overwrite the mean-fitness series length (last 8 bytes are the two
+	// u32 counts) with a value over the cap.
+	data[len(data)-8] = 0xff
+	data[len(data)-7] = 0xff
+	data[len(data)-6] = 0xff
+	data[len(data)-5] = 0x7f
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("implausible series length accepted")
+	}
+}

@@ -30,6 +30,16 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	buf.Reset()
+	series := &Snapshot{Generation: 8, Seed: 3, Memory: 1,
+		Strategies:  []strategy.Strategy{strategy.WSLS(strategy.NewSpace(1))},
+		Counters:    &RunCounters{GamesPlayed: 42},
+		MeanFitness: []SeriesPoint{{Generation: 0, Value: 2.0}, {Generation: 4, Value: 2.25}},
+		Cooperation: []SeriesPoint{{Generation: 0, Value: 0.5}}}
+	if err := Write(&buf, series); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x31, 0x44, 0x47, 0x45, 1, 0})
 

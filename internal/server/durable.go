@@ -1,0 +1,68 @@
+package server
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/sim"
+)
+
+// durableSink is a job's checkpoint sink in durable mode: a sim.FileSink
+// (tmp+fsync+rename+dir-fsync, so a crash never leaves a torn snapshot)
+// wrapped to merge the job's prior-segment series into every snapshot
+// before it hits disk. The engine only samples the series of the segment it
+// is running; a job that paused or crashed mid-way has earlier segments'
+// points only in the job table. Folding them in here means the checkpoint
+// file is self-contained: recovery reads one file and gets the resume
+// point plus the complete series from generation 0, which is what makes a
+// post-crash /result bit-identical to an uninterrupted run's.
+type durableSink struct {
+	job  *Job
+	file *sim.FileSink
+}
+
+func newDurableSink(job *Job, path string) *durableSink {
+	return &durableSink{job: job, file: &sim.FileSink{Path: path}}
+}
+
+// Save implements sim.CheckpointSink. s arrives with the current segment's
+// series (the engine runs with CheckpointSeries set in durable mode) and is
+// written with the full-history series.
+func (d *durableSink) Save(s *checkpoint.Snapshot) error {
+	d.job.mu.Lock()
+	priorFitness := append([]samplePoint(nil), d.job.priorFitness...)
+	priorCoop := append([]samplePoint(nil), d.job.priorCoop...)
+	d.job.mu.Unlock()
+	s.MeanFitness = mergeSeries(priorFitness, s.MeanFitness)
+	s.Cooperation = mergeSeries(priorCoop, s.Cooperation)
+	return d.file.Save(s)
+}
+
+// Latest implements sim.CheckpointSink.
+func (d *durableSink) Latest() (*checkpoint.Snapshot, error) {
+	return d.file.Latest()
+}
+
+// mergeSeries prepends prior-segment points to the current segment's. The
+// segments sample disjoint generation ranges on the same pinned stride, so
+// the concatenation is exactly an uninterrupted run's series so far.
+func mergeSeries(prior []samplePoint, seg []checkpoint.SeriesPoint) []checkpoint.SeriesPoint {
+	out := make([]checkpoint.SeriesPoint, 0, len(prior)+len(seg))
+	for _, p := range prior {
+		out = append(out, checkpoint.SeriesPoint{Generation: uint64(p.Generation), Value: p.Value})
+	}
+	return append(out, seg...)
+}
+
+// pointsFromSnapshot converts a recovered snapshot's series back to the job
+// table's form; the result becomes the job's prior-segment series (the
+// resumed segment starts at the snapshot generation, so every stored point
+// precedes it).
+func pointsFromSnapshot(ps []checkpoint.SeriesPoint) []samplePoint {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]samplePoint, len(ps))
+	for i, p := range ps {
+		out[i] = samplePoint{Generation: int(p.Generation), Value: p.Value}
+	}
+	return out
+}

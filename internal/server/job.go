@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/metrics"
@@ -39,11 +40,16 @@ const (
 	ctrlRun int32 = iota
 	ctrlPause
 	ctrlCancel
+	// ctrlDrain parks a job for shutdown: running segments stop at the next
+	// generation boundary with a durable snapshot and go back to queued, so
+	// the next boot's recovery re-queues them.
+	ctrlDrain
 )
 
 var (
 	errPauseRequested  = errors.New("server: pause requested")
 	errCancelRequested = errors.New("server: cancel requested")
+	errDrainRequested  = errors.New("server: drain requested")
 )
 
 // Job is one simulation run owned by the daemon: the tenant's spec, the
@@ -60,8 +66,10 @@ type Job struct {
 	// EstimatedSeconds is the admission controller's modelled cost.
 	EstimatedSeconds float64
 
-	hub  *hub
-	sink *sim.MemorySink
+	hub *hub
+	// sink holds the job's resume snapshots: an in-memory sink by default,
+	// a durableSink (on-disk, crash-safe, series-carrying) under -data-dir.
+	sink sim.CheckpointSink
 	ctrl atomic.Int32
 
 	mu     sync.Mutex
@@ -69,7 +77,11 @@ type Job struct {
 	gen    int // last generation boundary reached
 	errMsg string
 	result *sim.Result
-	snap   *checkpoint.Snapshot // resume point while paused
+	// wire is the finished run's serialisable result, built once at settle;
+	// it is what /result serves and what the journal persists, so a
+	// recovered daemon answers for done jobs without re-running them.
+	wire *jobResult
+	snap *checkpoint.Snapshot // resume point while paused (or recovered)
 	// priorFitness/priorCoop accumulate the series sampled by segments that
 	// ended in a pause; the final segment's series appended to them equals an
 	// uninterrupted run's series exactly (same stride, disjoint generations).
@@ -132,15 +144,21 @@ type sampleEvent struct {
 	Mutated     bool    `json:"mutated,omitempty"`
 }
 
-// Manager owns the job table, the bounded queue, and the worker pool.
+// Manager owns the job table, the bounded queue, and the worker pool — and,
+// in durable mode, the write-ahead journal and checkpoint files that let a
+// restarted daemon carry on where the previous process stopped.
 type Manager struct {
-	queue          chan *Job
-	reg            *metrics.Registry
-	quotas         *quotaTable
-	cost           CostModel
-	workers        int
-	maxJobSeconds  float64
-	maxOutstanding float64
+	queue           chan *Job
+	reg             *metrics.Registry
+	quotas          *quotaTable
+	cost            CostModel
+	workers         int
+	maxJobSeconds   float64
+	maxOutstanding  float64
+	store           *store // nil in ephemeral (in-memory) mode
+	epoch           int    // journal-persisted boot counter; 0 when ephemeral
+	checkpointEvery int    // durable snapshot cadence for jobs without their own
+	logf            func(format string, args ...any)
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -151,26 +169,57 @@ type Manager struct {
 	wg sync.WaitGroup
 }
 
-func newManager(opts Options, reg *metrics.Registry) *Manager {
+func newManager(opts Options, reg *metrics.Registry) (*Manager, error) {
 	m := &Manager{
-		queue:          make(chan *Job, opts.queueDepth()),
-		reg:            reg,
-		quotas:         newQuotaTable(opts.Tenant, opts.Now),
-		cost:           opts.Cost.normalised(),
-		workers:        opts.workers(),
-		maxJobSeconds:  opts.MaxJobSeconds,
-		maxOutstanding: opts.MaxOutstandingSeconds,
-		jobs:           make(map[string]*Job),
+		reg:             reg,
+		quotas:          newQuotaTable(opts.Tenant, opts.Now),
+		cost:            opts.Cost.normalised(),
+		workers:         opts.workers(),
+		maxJobSeconds:   opts.MaxJobSeconds,
+		maxOutstanding:  opts.MaxOutstandingSeconds,
+		checkpointEvery: opts.checkpointEvery(),
+		logf:            opts.logf(),
+		jobs:            make(map[string]*Job),
+	}
+	queueCap := opts.queueDepth()
+	var pending []*Job
+	if opts.DataDir != "" {
+		st, js, err := openStore(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		m.store = st
+		m.epoch = js.epoch + 1
+		pending = m.recoverJobs(js)
+		// Recovered jobs must all fit the queue regardless of the
+		// configured depth: they were admitted by the previous process.
+		if len(pending) > queueCap {
+			queueCap = len(pending)
+		}
+	}
+	m.queue = make(chan *Job, queueCap)
+	for _, job := range pending {
+		m.queue <- job
+	}
+	if m.store != nil {
+		// Boot compaction: rewrite the journal as the recovered state under
+		// the new epoch, dropping the previous process's transition history
+		// (and its clean marker — the journal is "dirty" until we shut down).
+		if err := m.store.compact(m.snapshotRecords()); err != nil {
+			m.store.close()
+			return nil, err
+		}
 	}
 	for i := 0; i < m.workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
 // Close stops the pool: no new submissions are accepted, running jobs are
-// cancelled, and Close returns once every worker has drained.
+// cancelled, and Close returns once every worker has drained. In durable
+// mode every job settles terminally, so the journal gets a clean marker.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -187,9 +236,77 @@ func (m *Manager) Close() {
 	for _, id := range ids {
 		m.jobs[id].ctrl.Store(ctrlCancel)
 	}
-	m.mu.Unlock()
 	close(m.queue)
+	m.mu.Unlock()
 	m.wg.Wait()
+	m.markCleanAndClose()
+}
+
+// Drain parks the service for restart: submissions stop, queued jobs stay
+// queued, running jobs stop at the next generation boundary with a durable
+// snapshot and return to queued — all journaled, so the next boot re-queues
+// them and finishes each trajectory bit-identically. Once every worker is
+// idle the journal gets its clean-shutdown marker. If workers do not settle
+// within timeout, Drain returns an error and writes no marker; the journal
+// then still recovers correctly, it just reports an unclean shutdown.
+func (m *Manager) Drain(timeout time.Duration) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return nil
+	}
+	m.closed = true
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		// Only park jobs with no competing request: an in-flight pause or
+		// cancel still wins, and its outcome is journaled as usual.
+		m.jobs[id].ctrl.CompareAndSwap(ctrlRun, ctrlDrain)
+	}
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		return fmt.Errorf("server: drain timed out after %s; journal left unclean (recovery will resume interrupted jobs)", timeout)
+	}
+	// End every open event stream so the HTTP server can finish its own
+	// shutdown; parked jobs' timelines stay readable for late replays.
+	m.mu.Lock()
+	ids = ids[:0]
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m.jobs[id].hub.close()
+	}
+	m.mu.Unlock()
+	m.markCleanAndClose()
+	return nil
+}
+
+// markCleanAndClose finalises the journal after the pool has drained.
+func (m *Manager) markCleanAndClose() {
+	if m.store == nil {
+		return
+	}
+	if err := m.store.append(journalRecord{Kind: recClean}); err != nil {
+		m.logf("egdserve: journal clean marker: %v", err)
+	}
+	if err := m.store.close(); err != nil {
+		m.logf("egdserve: closing journal: %v", err)
+	}
 }
 
 func (m *Manager) get(id string) (*Job, bool) {
@@ -283,19 +400,32 @@ func (m *Manager) Submit(tenant string, spec JobSpec) (*Job, error) {
 		}
 	}
 	m.nextID++
+	// IDs are epoch-counter pairs: the epoch is a journal-persisted boot
+	// counter, so IDs stay unique and lexicographically submission-ordered
+	// across daemon restarts (epoch 0 is the ephemeral, storeless mode).
 	job := &Job{
-		ID:               fmt.Sprintf("j-%06d", m.nextID),
+		ID:               fmt.Sprintf("j-%04d-%06d", m.epoch, m.nextID),
 		Tenant:           tenant,
 		Spec:             spec,
 		cfg:              cfg,
 		EstimatedSeconds: est,
 		hub:              newHub(),
-		sink:             sim.NewMemorySink(),
 		state:            StateQueued,
 	}
+	job.sink = m.newSink(job)
 	m.jobs[job.ID] = job
 	m.outstanding += est
 	m.mu.Unlock()
+
+	// Journal the admission before acknowledging it: once the tenant sees
+	// 202, the job survives a crash.
+	if m.store != nil {
+		if err := m.store.append(journalRecord{Kind: recSubmit, Job: job.ID, Tenant: job.Tenant, Spec: &spec, Est: est}); err != nil {
+			m.reg.Counter("egd_server_journal_errors_total").Inc()
+			m.logf("egdserve: journal submit for job %s: %v", job.ID, err)
+		}
+	}
+	m.persistState(job)
 
 	if err := m.enqueue(job); err != nil {
 		m.settle(job, StateCanceled, nil, "")
@@ -305,15 +435,31 @@ func (m *Manager) Submit(tenant string, spec JobSpec) (*Job, error) {
 	return job, nil
 }
 
+// newSink selects a job's checkpoint sink: durable on-disk snapshots when a
+// store is configured, in-memory otherwise.
+func (m *Manager) newSink(job *Job) sim.CheckpointSink {
+	if m.store == nil {
+		return sim.NewMemorySink()
+	}
+	return newDurableSink(job, m.store.checkpointPath(job.ID))
+}
+
 // enqueue places a queued job on the worker queue without blocking; a full
-// queue is a capacity rejection with a drain-time Retry-After.
+// queue is a capacity rejection with a drain-time Retry-After. The send
+// happens under the manager lock so it can never race the queue close in
+// Close/Drain (which also hold the lock).
 func (m *Manager) enqueue(job *Job) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return &specError{Detail: "server shutting down"}
+	}
 	select {
 	case m.queue <- job:
+		m.mu.Unlock()
 		m.reg.Gauge("egd_server_queue_depth").Set(int64(len(m.queue)))
 		return nil
 	default:
-		m.mu.Lock()
 		retry := m.drainSeconds()
 		m.mu.Unlock()
 		m.reject("queue_full")
@@ -355,10 +501,12 @@ func (m *Manager) Resume(job *Job) error {
 	job.ctrl.Store(ctrlRun)
 	job.mu.Unlock()
 	job.hub.publish("state", map[string]any{"id": job.ID, "state": StateQueued})
+	m.persistState(job)
 	if err := m.enqueue(job); err != nil {
 		job.mu.Lock()
 		job.state = StatePaused
 		job.mu.Unlock()
+		m.persistState(job)
 		return err
 	}
 	return nil
@@ -395,11 +543,17 @@ func (m *Manager) worker() {
 // from the pause snapshot when resuming. It ends in done/failed/canceled,
 // or in paused with a fresh resume snapshot.
 func (m *Manager) runJob(job *Job) {
-	if job.ctrl.Load() == ctrlCancel {
+	switch job.ctrl.Load() {
+	case ctrlCancel:
 		m.settle(job, StateCanceled, nil, "")
+		return
+	case ctrlDrain:
+		// Draining: the job stays queued (already journaled as such); the
+		// next boot's recovery re-queues it.
 		return
 	}
 	job.setState(StateRunning)
+	m.persistState(job)
 	m.reg.Gauge("egd_server_jobs_running").Add(1)
 	defer m.reg.Gauge("egd_server_jobs_running").Add(-1)
 
@@ -419,6 +573,16 @@ func (m *Manager) runJob(job *Job) {
 		}
 	}
 	cfg.CheckpointSink = job.sink
+	if m.store != nil {
+		// Durable mode: snapshots carry the sampled series (so a recovered
+		// /result keeps pre-crash points), and every job checkpoints on the
+		// server cadence even when its spec asked for none — otherwise a
+		// crash would replay the whole trajectory from generation 0.
+		cfg.CheckpointSeries = true
+		if cfg.CheckpointEvery == 0 {
+			cfg.CheckpointEvery = m.checkpointEvery
+		}
+	}
 	cfg.Control = func(gen int) error {
 		job.setGen(gen)
 		switch job.ctrl.Load() {
@@ -426,6 +590,8 @@ func (m *Manager) runJob(job *Job) {
 			return errPauseRequested
 		case ctrlCancel:
 			return errCancelRequested
+		case ctrlDrain:
+			return errDrainRequested
 		}
 		return nil
 	}
@@ -469,6 +635,27 @@ func (m *Manager) runJob(job *Job) {
 		job.mu.Unlock()
 		job.ctrl.Store(ctrlRun)
 		job.hub.publish("state", map[string]any{"id": job.ID, "state": StatePaused, "generation": snap.Generation})
+		m.persistState(job)
+	case errors.Is(err, sim.ErrStopped) && job.ctrl.Load() == ctrlDrain:
+		// Shutdown drain: the engine persisted a durable snapshot before
+		// stopping; park the job as queued so recovery resumes it from
+		// exactly this boundary.
+		snap, serr := job.sink.Latest()
+		if serr != nil || snap == nil {
+			m.settle(job, StateFailed, nil, fmt.Sprintf("drain snapshot unavailable: %v", serr))
+			return
+		}
+		job.mu.Lock()
+		job.snap = snap
+		job.gen = int(snap.Generation)
+		job.state = StateQueued
+		if res != nil {
+			job.priorFitness = append(job.priorFitness, seriesPoints(res.MeanFitness)...)
+			job.priorCoop = append(job.priorCoop, seriesPoints(res.Cooperation)...)
+		}
+		job.mu.Unlock()
+		job.hub.publish("state", map[string]any{"id": job.ID, "state": StateQueued, "generation": snap.Generation})
+		m.persistState(job)
 	case errors.Is(err, sim.ErrStopped):
 		m.settle(job, StateCanceled, nil, "")
 	default:
@@ -490,6 +677,9 @@ func (m *Manager) settle(job *Job, state State, res *sim.Result, errMsg string) 
 	job.errMsg = errMsg
 	if res != nil {
 		job.gen = job.cfg.StartGeneration + job.cfg.Generations
+		if state == StateDone {
+			job.wire = buildWireLocked(job, res)
+		}
 	}
 	job.mu.Unlock()
 
@@ -508,6 +698,10 @@ func (m *Manager) settle(job *Job, state State, res *sim.Result, errMsg string) 
 	}
 	job.hub.publish("state", map[string]any{"id": job.ID, "state": state, "error": errMsg})
 	job.hub.close()
+	m.persistState(job)
+	if m.store != nil {
+		m.store.removeCheckpoint(job.ID)
+	}
 }
 
 // foldCounters accumulates a finished run's counters into the daemon

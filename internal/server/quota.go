@@ -115,6 +115,15 @@ func (q *quotaTable) admit(tenant string) error {
 	return nil
 }
 
+// restore re-reserves an active slot for a tenant's job recovered from the
+// journal at boot. Unlike admit it charges no rate tokens: the submission
+// was already paid for in the previous process's lifetime.
+func (q *quotaTable) restore(tenant string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.state(tenant).active++
+}
+
 // release frees one of the tenant's active slots (job reached a terminal
 // state).
 func (q *quotaTable) release(tenant string) {

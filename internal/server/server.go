@@ -9,6 +9,12 @@
 // quotas and token-bucket rate limits keep one tenant from starving the
 // rest. The daemon's own counters and every finished run's egd_* catalog
 // are served in Prometheus text format at /metrics.
+//
+// With a data directory configured the job table is durable: every
+// lifecycle transition is journaled to an fsync'd append-only JSONL
+// write-ahead log and resume snapshots go to per-job checkpoint files, so
+// a daemon killed mid-job recovers on the next boot and finishes every
+// interrupted trajectory bit-identically (see docs/SERVICE.md).
 package server
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -42,6 +49,24 @@ type Options struct {
 	Cost CostModel
 	// Now overrides the rate limiter's clock (tests); nil uses wall time.
 	Now func() int64
+	// DataDir enables the durable job store: a write-ahead journal of every
+	// lifecycle transition plus per-job checkpoint files under this
+	// directory. A daemon restarted over the same DataDir replays the
+	// journal, re-queues interrupted jobs, and finishes each trajectory
+	// bit-identically. Empty keeps the ephemeral in-memory store.
+	DataDir string
+	// CheckpointEvery is the durable-mode snapshot cadence (generations)
+	// applied to jobs whose spec sets none (0 selects 250). Ignored without
+	// DataDir.
+	CheckpointEvery int
+	// SSEWriteTimeout bounds each Server-Sent-Event write; a client that
+	// cannot drain an event within it is disconnected (it reconnects with
+	// Last-Event-ID and replays what it missed) instead of pinning the
+	// daemon's connection. 0 selects 30s; negative disables the deadline.
+	SSEWriteTimeout time.Duration
+	// Log receives operational messages (recovery summary, journal errors);
+	// nil discards them.
+	Log func(format string, args ...any)
 }
 
 func (o Options) workers() int {
@@ -58,17 +83,48 @@ func (o Options) queueDepth() int {
 	return 64
 }
 
-// Server is the HTTP front end over a job Manager.
-type Server struct {
-	mgr *Manager
-	reg *metrics.Registry
-	mux *http.ServeMux
+func (o Options) checkpointEvery() int {
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return 250
 }
 
-// New builds a server and starts its worker pool.
-func New(opts Options) *Server {
+func (o Options) sseWriteTimeout() time.Duration {
+	if o.SSEWriteTimeout == 0 {
+		return 30 * time.Second
+	}
+	if o.SSEWriteTimeout < 0 {
+		return 0
+	}
+	return o.SSEWriteTimeout
+}
+
+func (o Options) logf() func(format string, args ...any) {
+	if o.Log != nil {
+		return o.Log
+	}
+	return func(string, ...any) {}
+}
+
+// Server is the HTTP front end over a job Manager.
+type Server struct {
+	mgr        *Manager
+	reg        *metrics.Registry
+	mux        *http.ServeMux
+	sseTimeout time.Duration
+}
+
+// New builds a server and starts its worker pool. With Options.DataDir set
+// it opens the durable job store first, replaying the journal and
+// re-queuing interrupted jobs; an unopenable store is the only error.
+func New(opts Options) (*Server, error) {
 	reg := metrics.NewRegistry()
-	s := &Server{reg: reg, mgr: newManager(opts, reg), mux: http.NewServeMux()}
+	mgr, err := newManager(opts, reg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: reg, mgr: mgr, mux: http.NewServeMux(), sseTimeout: opts.sseWriteTimeout()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -79,7 +135,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /api/v1/jobs/{id}/pause", s.handleTransition(s.mgr.Pause))
 	s.mux.HandleFunc("POST /api/v1/jobs/{id}/resume", s.handleTransition(s.mgr.Resume))
 	s.mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleTransition(s.mgr.Cancel))
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -87,6 +143,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close cancels running jobs and stops the worker pool.
 func (s *Server) Close() { s.mgr.Close() }
+
+// Drain parks the service for restart: running jobs stop at the next
+// generation boundary with durable snapshots and are journaled queued, so
+// the next boot resumes them bit-identically. See Manager.Drain.
+func (s *Server) Drain(timeout time.Duration) error { return s.mgr.Drain(timeout) }
 
 // tenantOf extracts the caller's tenant from the X-Tenant header; absent
 // means the shared default tenant.
@@ -238,26 +299,18 @@ func stitchPoints(prior []samplePoint, s *stats.Series) []samplePoint {
 	return pts
 }
 
-func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.jobFor(w, r)
-	if !ok {
-		return
-	}
-	job.mu.Lock()
-	state, res := job.state, job.result
-	priorFitness, priorCoop := job.priorFitness, job.priorCoop
-	job.mu.Unlock()
-	if state != StateDone || res == nil {
-		writeError(w, &stateError{Detail: fmt.Sprintf("job %s is %s; results exist only for done jobs", job.ID, state)})
-		return
-	}
-	out := jobResult{
+// buildWireLocked materialises a finished run's wire result; the caller
+// holds job.mu. Built once at settle time and retained (and journaled in
+// durable mode), so a restarted daemon serves done jobs' results without
+// re-running them.
+func buildWireLocked(job *Job, res *sim.Result) *jobResult {
+	out := &jobResult{
 		ID:             job.ID,
 		FinalFitness:   res.FinalFitness,
 		Fingerprints:   make([]string, len(res.Final)),
 		Counters:       res.Counters,
-		MeanFitness:    stitchPoints(priorFitness, res.MeanFitness),
-		Cooperation:    stitchPoints(priorCoop, res.Cooperation),
+		MeanFitness:    stitchPoints(job.priorFitness, res.MeanFitness),
+		Cooperation:    stitchPoints(job.priorCoop, res.Cooperation),
 		Ranks:          res.Ranks,
 		Restarts:       res.Restarts,
 		ElapsedSeconds: res.Elapsed.Seconds(),
@@ -265,7 +318,22 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	for i, st := range res.Final {
 		out.Fingerprints[i] = fmt.Sprintf("%016x", st.Fingerprint())
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	job.mu.Lock()
+	state, wire := job.state, job.wire
+	job.mu.Unlock()
+	if state != StateDone || wire == nil {
+		writeError(w, &stateError{Detail: fmt.Sprintf("job %s is %s; results exist only for done jobs", job.ID, state)})
+		return
+	}
+	writeJSON(w, http.StatusOK, wire)
 }
 
 // handleEvents streams a job's timeline as Server-Sent Events: the backlog
@@ -293,7 +361,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+	// Each event gets its own write deadline: a client that stops reading
+	// stalls the TCP send buffer, the deadline expires, the write fails,
+	// and the stream ends — instead of this handler (and the job's hub
+	// slot) hanging on one stalled peer forever. The dropped client
+	// reconnects with Last-Event-ID and replays what it missed.
+	rc := http.NewResponseController(w)
 	writeSSE := func(ev sseEvent) bool {
+		if s.sseTimeout > 0 {
+			deadline := time.Now().Add(s.sseTimeout) //egdlint:allow determinism SSE write deadline; never feeds a trajectory
+			rc.SetWriteDeadline(deadline)            //nolint:errcheck // unsupported writers (test recorders) just skip the deadline
+		}
 		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Kind, ev.Data); err != nil {
 			return false
 		}

@@ -21,7 +21,10 @@ import (
 // httptest waits on connections.
 func newTestServer(t *testing.T, opts Options) *httptest.Server {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		s.Close()

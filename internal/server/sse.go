@@ -18,14 +18,36 @@ type sseEvent struct {
 // subscribers receive the backlog (after their Last-Event-ID) plus live
 // events. Slow subscribers are dropped rather than blocking the engine —
 // they reconnect with Last-Event-ID and replay what they missed.
+//
+// base offsets the ID sequence: a hub rebuilt after a daemon restart starts
+// at the journal-persisted high-water mark, so IDs stay monotonic across
+// restarts even though the pre-restart timeline itself is not retained (a
+// reconnecting client with a pre-restart Last-Event-ID replays the whole
+// post-restart timeline instead).
 type hub struct {
 	mu     sync.Mutex
+	base   int
 	events []sseEvent
 	subs   []chan sseEvent
 	closed bool
 }
 
 func newHub() *hub { return &hub{} }
+
+// newHubAt creates a hub whose first event gets ID base+1.
+func newHubAt(base int) *hub {
+	if base < 0 {
+		base = 0
+	}
+	return &hub{base: base}
+}
+
+// highWater returns the highest event ID issued so far (base when none).
+func (h *hub) highWater() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.base + len(h.events)
+}
 
 // publish appends one event and fans it out. v is serialised to JSON;
 // serialisation failures are impossible for the value types the server
@@ -41,7 +63,7 @@ func (h *hub) publish(kind string, v any) {
 	if h.closed {
 		return
 	}
-	ev := sseEvent{ID: len(h.events) + 1, Kind: kind, Data: data}
+	ev := sseEvent{ID: h.base + len(h.events) + 1, Kind: kind, Data: data}
 	h.events = append(h.events, ev)
 	live := h.subs[:0]
 	for _, ch := range h.subs {
@@ -61,11 +83,12 @@ func (h *hub) publish(kind string, v any) {
 func (h *hub) subscribe(afterID int) (backlog []sseEvent, ch chan sseEvent, cancel func()) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if afterID < 0 {
-		afterID = 0
+	idx := afterID - h.base
+	if idx < 0 {
+		idx = 0
 	}
-	if afterID < len(h.events) {
-		backlog = append(backlog, h.events[afterID:]...)
+	if idx < len(h.events) {
+		backlog = append(backlog, h.events[idx:]...)
 	}
 	ch = make(chan sseEvent, 64)
 	if h.closed {

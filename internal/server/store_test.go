@@ -1,0 +1,407 @@
+package server
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// durableSpec is a job long enough to interrupt mid-run: full_recompute
+// makes every generation cost the same, so the copy/drain points below land
+// well inside the trajectory.
+const durableSpec = `{"memory":1,"ssets":8,"generations":8000,"rounds":100,"seed":1234,"full_recompute":true}`
+
+// durableOpts is the durable-mode test configuration: one worker keeps
+// scheduling deterministic, a short checkpoint cadence gives crashes
+// something recent to resume from.
+func durableOpts(dir string) Options {
+	return Options{Workers: 1, DataDir: dir, CheckpointEvery: 200}
+}
+
+// newDurableServer boots a daemon over dir and returns both handles (the
+// *Server for Drain, the httptest server for requests). Close order matches
+// newTestServer.
+func newDurableServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(durableOpts(dir))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		s.Close()
+		ts.Close()
+	})
+	return s, ts
+}
+
+// resultMinusElapsed fetches a done job's result with the one wall-clock
+// field removed, leaving only trajectory-determined data.
+func resultMinusElapsed(t *testing.T, ts *httptest.Server, id string) map[string]any {
+	t.Helper()
+	m := result(t, ts, id)
+	delete(m, "elapsed_seconds")
+	return m
+}
+
+// runDurableBaseline runs durableSpec to completion on a fresh durable
+// daemon and returns its deterministic result.
+func runDurableBaseline(t *testing.T) map[string]any {
+	t.Helper()
+	_, ts := newDurableServer(t, t.TempDir())
+	id := submit(t, ts, "", durableSpec)
+	waitState(t, ts, id, StateDone)
+	return resultMinusElapsed(t, ts, id)
+}
+
+// copyDir snapshots a data directory mid-run — the moral equivalent of the
+// filesystem image a kill -9 leaves behind (journal appends and checkpoint
+// renames are each atomic, so any instant is a valid crash image).
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading %s: %v", src, err)
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatalf("mkdir %s: %v", dst, err)
+	}
+	for _, e := range entries {
+		sp, dp := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			copyDir(t, sp, dp)
+			continue
+		}
+		data, err := os.ReadFile(sp)
+		if err != nil {
+			t.Fatalf("reading %s: %v", sp, err)
+		}
+		if err := os.WriteFile(dp, data, 0o644); err != nil {
+			t.Fatalf("writing %s: %v", dp, err)
+		}
+	}
+}
+
+// TestRecoveryFromCrashImageBitIdentical interrupts a durable job by
+// snapshotting its data directory mid-run (journal says running, checkpoint
+// mid-trajectory) and boots a fresh daemon over the image: recovery must
+// re-queue the job, resume it from the checkpoint, and serve a /result
+// equal to an uninterrupted run's in every trajectory-determined field.
+func TestRecoveryFromCrashImageBitIdentical(t *testing.T) {
+	want := runDurableBaseline(t)
+
+	liveDir, crashDir := t.TempDir(), filepath.Join(t.TempDir(), "image")
+	_, ts := newDurableServer(t, liveDir)
+	id := submit(t, ts, "", durableSpec)
+	waitUntil(t, ts, id, "mid-run past a checkpoint", func(m map[string]any) bool {
+		gen, _ := m["generation"].(float64)
+		return m["state"] == string(StateRunning) && gen >= 1000
+	})
+	copyDir(t, liveDir, crashDir)
+	// The live daemon is irrelevant now; stop its job so cleanup is quick.
+	doJSON(t, "POST", ts.URL+"/api/v1/jobs/"+id+"/cancel", "", "")
+
+	_, ts2 := newDurableServer(t, crashDir)
+	st := status(t, ts2, id)
+	if st["state"] != string(StateQueued) && st["state"] != string(StateRunning) && st["state"] != string(StateDone) {
+		t.Fatalf("recovered job state = %v, want queued/running/done", st["state"])
+	}
+	waitState(t, ts2, id, StateDone)
+	got := resultMinusElapsed(t, ts2, id)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered result differs from uninterrupted run\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestDrainParksAndResumesBitIdentical drains a daemon mid-job (the SIGTERM
+// path): the job must come back journaled queued with a durable snapshot,
+// and a second daemon over the same directory must finish it with an
+// uninterrupted-run result.
+func TestDrainParksAndResumesBitIdentical(t *testing.T) {
+	want := runDurableBaseline(t)
+
+	dir := t.TempDir()
+	s, ts := newDurableServer(t, dir)
+	id := submit(t, ts, "", durableSpec)
+	waitUntil(t, ts, id, "mid-run", func(m map[string]any) bool {
+		gen, _ := m["generation"].(float64)
+		return m["state"] == string(StateRunning) && gen >= 500
+	})
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	js := replayJournal(data)
+	if !js.clean {
+		t.Errorf("journal not marked clean after drain")
+	}
+	if rj := js.jobs[id]; rj == nil || rj.state != StateQueued {
+		t.Errorf("drained job journaled as %+v, want queued", js.jobs[id])
+	}
+	ts.Close() // release the listener; the manager is already drained
+
+	_, ts2 := newDurableServer(t, dir)
+	waitState(t, ts2, id, StateDone)
+	got := resultMinusElapsed(t, ts2, id)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("drained+resumed result differs from uninterrupted run\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// TestRecoveryServesTerminalResults proves done jobs survive restarts
+// without re-running: the journal carries the wire result.
+func TestRecoveryServesTerminalResults(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"memory":1,"ssets":8,"generations":60,"rounds":20,"seed":7}`
+	s, ts := newDurableServer(t, dir)
+	id := submit(t, ts, "", spec)
+	waitState(t, ts, id, StateDone)
+	want := resultMinusElapsed(t, ts, id)
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	ts.Close()
+
+	_, ts2 := newDurableServer(t, dir)
+	got := resultMinusElapsed(t, ts2, id)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered terminal result differs\n got: %v\nwant: %v", got, want)
+	}
+	// The elapsed field must also survive (journaled verbatim, not re-run).
+	if _, ok := result(t, ts2, id)["elapsed_seconds"]; !ok {
+		t.Errorf("recovered result lost elapsed_seconds")
+	}
+}
+
+// TestEpochIDsStayUniqueAcrossRestarts checks the journal-persisted epoch:
+// each boot mints IDs under a fresh epoch, so IDs never collide and sort in
+// submission order across restarts.
+func TestEpochIDsStayUniqueAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"memory":1,"ssets":8,"generations":40,"rounds":20,"seed":3}`
+	s, ts := newDurableServer(t, dir)
+	id1 := submit(t, ts, "", spec)
+	waitState(t, ts, id1, StateDone)
+	if err := s.Drain(time.Minute); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	ts.Close()
+
+	_, ts2 := newDurableServer(t, dir)
+	id2 := submit(t, ts2, "", spec)
+	if id1 == id2 {
+		t.Fatalf("job IDs collide across restarts: %s", id1)
+	}
+	if !(id1 < id2) {
+		t.Errorf("IDs not submission-ordered across restarts: %s then %s", id1, id2)
+	}
+	if id1 != "j-0001-000001" || id2 != "j-0002-000001" {
+		t.Errorf("unexpected epoch-counter IDs: %s, %s", id1, id2)
+	}
+	waitState(t, ts2, id2, StateDone)
+}
+
+// TestJournalTailDamageTolerated truncates and garbles the journal tail:
+// replay must keep every intact record and report (not fail on) the tail.
+func TestJournalTailDamageTolerated(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"memory":1,"ssets":8,"generations":40,"rounds":20,"seed":9}`
+	s, ts := newDurableServer(t, dir)
+	id := submit(t, ts, "", spec)
+	waitState(t, ts, id, StateDone)
+	s.Close()
+	ts.Close()
+
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	for _, tc := range []struct {
+		name      string
+		tail      []byte
+		wantClean bool // blank-line padding is benign, real damage is not
+	}{
+		{"truncated-record", []byte(`{"kind":"state","job":"` + id + `","sta`), false},
+		{"garbage", []byte("\x00\xffnot json at all"), false},
+		{"empty-lines", []byte("\n\n\n"), true},
+	} {
+		damaged := append(append([]byte(nil), data...), tc.tail...)
+		js := replayJournal(damaged)
+		rj := js.jobs[id]
+		if rj == nil || rj.state != StateDone || rj.result == nil {
+			t.Errorf("%s: intact records lost: %+v", tc.name, rj)
+		}
+		if js.clean != tc.wantClean {
+			t.Errorf("%s: clean = %v, want %v", tc.name, js.clean, tc.wantClean)
+		}
+		// A daemon must boot over the damaged journal and keep serving.
+		dmgDir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dmgDir, checkpointsDir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dmgDir, journalName), damaged, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, ts2 := newDurableServer(t, dmgDir)
+		if got := status(t, ts2, id); got["state"] != string(StateDone) {
+			t.Errorf("%s: recovered state = %v, want done", tc.name, got["state"])
+		}
+	}
+}
+
+// TestJournalCompaction drives enough appends to trigger compaction and
+// checks the journal shrinks to live state while still replaying correctly.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, js, err := openStore(dir)
+	if err != nil {
+		t.Fatalf("openStore: %v", err)
+	}
+	defer st.close()
+	if js.epoch != 0 || len(js.jobs) != 0 {
+		t.Fatalf("fresh store not empty: %+v", js)
+	}
+	for i := 0; i < compactEvery+10; i++ {
+		if err := st.append(journalRecord{Kind: recState, Job: "j-0001-000001", State: StateRunning, Gen: i}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	before, _ := os.Stat(filepath.Join(dir, journalName))
+	spec := JobSpec{Memory: 1, SSets: 8, Generations: 10}
+	compacted := []journalRecord{
+		{Kind: recMeta, Epoch: 3},
+		{Kind: recSubmit, Job: "j-0001-000001", Tenant: "default", Spec: &spec, Est: 1},
+		{Kind: recState, Job: "j-0001-000001", State: StateDone, Gen: 10},
+	}
+	if err := st.maybeCompact(func() []journalRecord { return compacted }); err != nil {
+		t.Fatalf("maybeCompact: %v", err)
+	}
+	after, _ := os.Stat(filepath.Join(dir, journalName))
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink journal: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// Appends keep working on the swapped handle and replay sees both.
+	if err := st.append(journalRecord{Kind: recClean}); err != nil {
+		t.Fatalf("append after compaction: %v", err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, journalName))
+	got := replayJournal(data)
+	if got.epoch != 3 || !got.clean || got.jobs["j-0001-000001"].state != StateDone {
+		t.Errorf("replay after compaction: epoch=%d clean=%v jobs=%+v", got.epoch, got.clean, got.jobs)
+	}
+}
+
+// FuzzJournalTail feeds arbitrary bytes (seeded with real journals plus
+// damaged variants) through replay: it must never panic, and its outputs
+// must stay internally consistent.
+func FuzzJournalTail(f *testing.F) {
+	var lines []string
+	spec := `{"memory":1,"ssets":4,"generations":10,"seed":1}`
+	lines = append(lines,
+		`{"kind":"meta","epoch":2}`,
+		`{"kind":"submit","job":"j-0002-000001","tenant":"default","spec":`+spec+`,"estimated_seconds":0.5}`,
+		`{"kind":"state","job":"j-0002-000001","state":"running","generation":5,"event_id":3}`,
+		`{"kind":"state","job":"j-0002-000001","state":"done","generation":10,"event_id":7,"result":{"id":"j-0002-000001","final_fitness":[1,2],"fingerprints":["a"],"counters":{"GamesPlayed":1,"PCEvents":0,"Adoptions":0,"Mutations":0},"mean_fitness":null,"cooperation":null,"ranks":1,"restarts":0,"elapsed_seconds":0.1}`,
+		`{"kind":"clean"}`,
+	)
+	full := strings.Join(lines, "\n") + "\n"
+	f.Add([]byte(full))
+	f.Add([]byte(full + `{"kind":"state","job":"j-0002-0000`)) // torn tail
+	f.Add([]byte(full + "\x00\x01garbage"))
+	f.Add([]byte(""))
+	f.Add([]byte("{}\n{}\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		js := replayJournal(data)
+		if js.skippedTail < 0 || js.skippedTail > len(data) {
+			t.Fatalf("skippedTail %d out of range for %d bytes", js.skippedTail, len(data))
+		}
+		seen := make(map[string]bool)
+		for _, id := range js.order {
+			if seen[id] {
+				t.Fatalf("duplicate id %q in order", id)
+			}
+			seen[id] = true
+			if js.jobs[id] == nil {
+				t.Fatalf("ordered id %q missing from table", id)
+			}
+		}
+		if len(js.order) != len(js.jobs) {
+			t.Fatalf("order/table size mismatch: %d vs %d", len(js.order), len(js.jobs))
+		}
+	})
+}
+
+// TestSubmitRejectedAfterDrain pins the shutdown contract: a draining
+// daemon refuses new work instead of accepting jobs it will never run.
+func TestSubmitRejectedAfterDrain(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newDurableServer(t, dir)
+	if err := s.Drain(time.Minute); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	resp, m := doJSON(t, "POST", ts.URL+"/api/v1/jobs", "", durableSpec)
+	if resp.StatusCode == 202 {
+		t.Fatalf("drained daemon accepted a job: %v", m)
+	}
+}
+
+// TestDurableResultMatchesEphemeral guards against durable mode perturbing
+// the trajectory: the same spec must produce identical results with and
+// without a store (checkpointing is pure output).
+func TestDurableResultMatchesEphemeral(t *testing.T) {
+	spec := `{"memory":1,"ssets":8,"generations":400,"rounds":20,"seed":21,"sample_stride":10}`
+	tsEphemeral := newTestServer(t, Options{Workers: 1})
+	id1 := submit(t, tsEphemeral, "", spec)
+	waitState(t, tsEphemeral, id1, StateDone)
+	em := resultMinusElapsed(t, tsEphemeral, id1)
+
+	_, tsDurable := newDurableServer(t, t.TempDir())
+	id2 := submit(t, tsDurable, "", spec)
+	waitState(t, tsDurable, id2, StateDone)
+	dm := resultMinusElapsed(t, tsDurable, id2)
+
+	// IDs differ by epoch (ephemeral 0, durable 1); everything else must not.
+	delete(em, "id")
+	delete(dm, "id")
+	if !reflect.DeepEqual(em, dm) {
+		t.Errorf("durable mode changed the trajectory\nephemeral: %v\n  durable: %v", em, dm)
+	}
+}
+
+// TestRecoveredSSEIDsMonotonic checks the hub base: events published after
+// a restart continue above the journal-persisted high-water mark.
+func TestRecoveredSSEIDsMonotonic(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newDurableServer(t, dir)
+	id := submit(t, ts, "", durableSpec)
+	waitUntil(t, ts, id, "mid-run", func(m map[string]any) bool {
+		gen, _ := m["generation"].(float64)
+		return m["state"] == string(StateRunning) && gen >= 500
+	})
+	if err := s.Drain(30 * time.Second); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	ts.Close()
+
+	srv2, ts2 := newDurableServer(t, dir)
+	job, ok := srv2.mgr.get(id)
+	if !ok {
+		t.Fatalf("job %s not recovered", id)
+	}
+	base := job.hub.highWater()
+	if base <= 0 {
+		t.Fatalf("recovered hub base = %d, want the pre-restart high-water (> 0)", base)
+	}
+	waitState(t, ts2, id, StateDone)
+	if hw := job.hub.highWater(); hw <= base {
+		t.Errorf("post-restart events did not advance past base: %d -> %d", base, hw)
+	}
+}

@@ -134,6 +134,15 @@ type Config struct {
 	// CheckpointSink receives periodic snapshots; required when
 	// CheckpointEvery > 0.
 	CheckpointSink CheckpointSink
+	// CheckpointSeries includes the sampled mean-fitness and cooperation
+	// series (up to the snapshot generation) in every snapshot written to
+	// CheckpointSink. A service that resumes a killed run from such a
+	// snapshot can then serve a stitched series identical to an
+	// uninterrupted run's — the series samples before the resume point
+	// would otherwise exist only in the dead process's memory. Collection
+	// never feeds back into the trajectory; snapshots merely grow by the
+	// retained sample points (encoded as checkpoint stream version 3).
+	CheckpointSeries bool
 	// BaseCounters seeds the run's counters, so a run resumed from a
 	// snapshot reports cumulative totals identical to an uninterrupted one.
 	BaseCounters Counters

@@ -3,6 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/stats"
 )
 
 // ErrStopped marks a run halted by Config.Control: both engines return an
@@ -17,10 +19,11 @@ var ErrStopped = errors.New("sim: run stopped by control hook")
 
 // stopRun finalises a control-initiated stop on the Nature side: it
 // persists a resume snapshot of the population at the top of generation
-// gen (when a sink is configured) and returns the run's stop error.
-func stopRun(cfg *Config, pop *Population, gen int, ctr Counters, cause error) error {
+// gen (when a sink is configured, carrying the series sampled so far
+// under cfg.CheckpointSeries) and returns the run's stop error.
+func stopRun(cfg *Config, pop *Population, gen int, ctr Counters, fit, coop *stats.Series, cause error) error {
 	if cfg.CheckpointSink != nil {
-		if err := saveSnapshot(cfg, pop, gen, ctr); err != nil {
+		if err := saveSnapshot(cfg, pop, gen, ctr, fit, coop); err != nil {
 			return fmt.Errorf("sim: stop snapshot at generation %d: %w (stop cause: %w)", gen, err, cause)
 		}
 	}

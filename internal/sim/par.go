@@ -426,7 +426,7 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 		// the original cadence instead of one phase-shifted by the restart.
 		if cfg.CheckpointEvery > 0 && (gen+1)%cfg.CheckpointEvery == 0 {
 			tc := pt.begin()
-			if err := saveSnapshot(&cfg, pop, gen+1, res.Counters); err != nil {
+			if err := saveSnapshot(&cfg, pop, gen+1, res.Counters, res.MeanFitness, res.Cooperation); err != nil {
 				return err
 			}
 			pt.end(PhaseCheckpoint, tc)
@@ -568,7 +568,7 @@ func natureRank(cfg Config, c *mpi.Comm) (*Result, error) {
 				if _, err := c.Bcast(0, selection{Stop: true}); err != nil {
 					return nil, err
 				}
-				return res, stopRun(&cfg, pop, gen, res.Counters, cause)
+				return res, stopRun(&cfg, pop, gen, res.Counters, res.MeanFitness, res.Cooperation, cause)
 			}
 		}
 		if cfg.Evict {

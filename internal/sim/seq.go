@@ -40,7 +40,7 @@ func RunSequential(cfg Config) (*Result, error) {
 		// bit-identical to an uninterrupted run's.
 		if cfg.Control != nil {
 			if cause := cfg.Control(gen); cause != nil {
-				return res, stopRun(&cfg, pop, gen, res.Counters, cause)
+				return res, stopRun(&cfg, pop, gen, res.Counters, res.MeanFitness, res.Cooperation, cause)
 			}
 		}
 		// Game dynamics: bring every SSet's payoff row up to date.
@@ -67,7 +67,7 @@ func RunSequential(cfg Config) (*Result, error) {
 		// engine, so sequential and parallel runs write identical snapshots.
 		if cfg.CheckpointEvery > 0 && (gen+1)%cfg.CheckpointEvery == 0 {
 			tc := pt.begin()
-			if err := saveSnapshot(&cfg, pop, gen+1, res.Counters); err != nil {
+			if err := saveSnapshot(&cfg, pop, gen+1, res.Counters, res.MeanFitness, res.Cooperation); err != nil {
 				return nil, err
 			}
 			pt.end(PhaseCheckpoint, tc)

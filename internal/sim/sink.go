@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/checkpoint"
+	"repro/internal/stats"
 )
 
 // CheckpointSink receives the Nature Agent's periodic snapshots and serves
@@ -140,8 +141,9 @@ func (f *FileSink) Latest() (*checkpoint.Snapshot, error) {
 }
 
 // saveSnapshot captures the population after gen completed generations,
-// with the run's cumulative counters, into the configured sink.
-func saveSnapshot(cfg *Config, pop *Population, gen int, ctr Counters) error {
+// with the run's cumulative counters — and, under cfg.CheckpointSeries,
+// the series sampled so far — into the configured sink.
+func saveSnapshot(cfg *Config, pop *Population, gen int, ctr Counters, fit, coop *stats.Series) error {
 	snap := &checkpoint.Snapshot{
 		Generation: uint64(gen),
 		Seed:       cfg.Seed,
@@ -149,10 +151,29 @@ func saveSnapshot(cfg *Config, pop *Population, gen int, ctr Counters) error {
 		Strategies: pop.Snapshot(),
 		Counters:   countersToRun(ctr),
 	}
+	if cfg.CheckpointSeries {
+		snap.MeanFitness = seriesToPoints(fit)
+		snap.Cooperation = seriesToPoints(coop)
+	}
 	if err := cfg.CheckpointSink.Save(snap); err != nil {
 		return fmt.Errorf("sim: checkpoint at generation %d: %w", gen, err)
 	}
 	return nil
+}
+
+// seriesToPoints flattens a sampled series into checkpoint points. The
+// result is non-nil even when empty: "recorded, nothing sampled yet" is
+// distinct from "not recorded" in the snapshot encoding.
+func seriesToPoints(s *stats.Series) []checkpoint.SeriesPoint {
+	if s == nil {
+		return []checkpoint.SeriesPoint{}
+	}
+	out := make([]checkpoint.SeriesPoint, s.Len())
+	for i := range out {
+		g, v := s.At(i)
+		out[i] = checkpoint.SeriesPoint{Generation: uint64(g), Value: v}
+	}
+	return out
 }
 
 // countersToRun converts sim counters to their checkpoint form.

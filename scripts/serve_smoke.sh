@@ -3,7 +3,10 @@
 # ephemeral port, drive a job to completion, stream its SSE timeline, then
 # pause a long run mid-flight, resume it, and assert its /result is
 # byte-identical (minus job id and elapsed time) to the same spec run
-# uninterrupted. Finishes with a SIGTERM and asserts a clean shutdown.
+# uninterrupted; SIGTERM then asserts a clean shutdown. A second, durable
+# daemon (-data-dir) is kill -9'd mid-job and restarted over the same
+# directory: recovery must resume the job from its checkpoint and produce
+# the uninterrupted run's result, and a final SIGTERM must drain cleanly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,25 +23,28 @@ trap cleanup EXIT
 echo "serve-smoke: building egdserve"
 $GO build -o "$TMP/egdserve" ./cmd/egdserve
 
+wait_base() { # daemon log file -> sets BASE
+    BASE=
+    for _ in $(seq 1 100); do
+        BASE=$(sed -n 's/^egdserve: listening on //p' "$1")
+        [ -n "$BASE" ] && break
+        sleep 0.1
+    done
+    if [ -z "$BASE" ]; then
+        echo "serve-smoke: FAIL: daemon never came up" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+}
+
 "$TMP/egdserve" -addr 127.0.0.1:0 -workers 2 > "$TMP/serve.out" 2>&1 &
 SERVE_PID=$!
-
-BASE=
-for _ in $(seq 1 100); do
-    BASE=$(sed -n 's/^egdserve: listening on //p' "$TMP/serve.out")
-    [ -n "$BASE" ] && break
-    sleep 0.1
-done
-if [ -z "$BASE" ]; then
-    echo "serve-smoke: FAIL: daemon never came up" >&2
-    cat "$TMP/serve.out" >&2
-    exit 1
-fi
+wait_base "$TMP/serve.out"
 echo "serve-smoke: daemon at $BASE"
 
 curl -fsS "$BASE/healthz" > /dev/null
 
-submit() { curl -fsS -X POST -d "$1" "$BASE/api/v1/jobs" | sed -n 's/.*"id": "\(j-[0-9]*\)".*/\1/p'; }
+submit() { curl -fsS -X POST -d "$1" "$BASE/api/v1/jobs" | sed -n 's/.*"id": "\(j-[0-9-]*\)".*/\1/p'; }
 state()  { curl -fsS "$BASE/api/v1/jobs/$1" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p'; }
 gen()    { curl -fsS "$BASE/api/v1/jobs/$1" | sed -n 's/.*"generation": \([0-9]*\).*/\1/p'; }
 
@@ -60,7 +66,8 @@ wait_state() { # job id, wanted state
 echo "serve-smoke: small job runs to completion"
 SMALL=$(submit '{"memory":1,"ssets":8,"generations":200,"rounds":20,"seed":7,"sample_stride":20}')
 wait_state "$SMALL" done
-curl -fsS "$BASE/api/v1/jobs/$SMALL/result" | grep -q '"final_fitness"'
+curl -fsS "$BASE/api/v1/jobs/$SMALL/result" -o "$TMP/small.json"
+grep -q '"final_fitness"' "$TMP/small.json"
 
 echo "serve-smoke: SSE timeline replays for the finished job"
 curl -fsS --max-time 30 -N "$BASE/api/v1/jobs/$SMALL/events" > "$TMP/sse.out"
@@ -106,5 +113,56 @@ if [ "$rc" -ne 0 ]; then
     exit 1
 fi
 grep -q 'shutting down' "$TMP/serve.out"
+
+echo "serve-smoke: durable daemon survives kill -9 with a bit-identical result"
+DATA="$TMP/data"
+"$TMP/egdserve" -addr 127.0.0.1:0 -workers 1 -data-dir "$DATA" -checkpoint-every 250 > "$TMP/serve2.out" 2>&1 &
+SERVE_PID=$!
+wait_base "$TMP/serve2.out"
+echo "serve-smoke: durable daemon at $BASE (data dir $DATA)"
+
+CSPEC='{"memory":1,"ssets":8,"generations":20000,"rounds":200,"seed":4242,"full_recompute":true}'
+C=$(submit "$CSPEC")
+wait_state "$C" done
+curl -fsS "$BASE/api/v1/jobs/$C/result" | grep -v '"id"\|"elapsed_seconds"' > "$TMP/uninterrupted.json"
+
+D=$(submit "$CSPEC")
+for _ in $(seq 1 600); do
+    g=$(gen "$D")
+    [ -n "$g" ] && [ "$g" -ge 1000 ] && break
+    sleep 0.02
+done
+echo "serve-smoke: kill -9 at generation $(gen "$D")"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=
+
+"$TMP/egdserve" -addr 127.0.0.1:0 -workers 1 -data-dir "$DATA" -checkpoint-every 250 > "$TMP/serve3.out" 2>&1 &
+SERVE_PID=$!
+wait_base "$TMP/serve3.out"
+grep -q 'clean shutdown false' "$TMP/serve3.out"
+echo "serve-smoke: restarted daemon at $BASE, job $D recovering"
+wait_state "$D" done
+curl -fsS "$BASE/api/v1/jobs/$D/result" | grep -v '"id"\|"elapsed_seconds"' > "$TMP/recovered.json"
+if ! diff -u "$TMP/uninterrupted.json" "$TMP/recovered.json"; then
+    echo "serve-smoke: FAIL: post-crash result diverged from the uninterrupted run" >&2
+    exit 1
+fi
+# Terminal results survive restarts (grep a downloaded copy: grep -q on a
+# pipe closes it mid-transfer and fails curl under pipefail).
+curl -fsS "$BASE/api/v1/jobs/$C/result" -o "$TMP/c-after-restart.json"
+grep -q '"final_fitness"' "$TMP/c-after-restart.json"
+
+echo "serve-smoke: SIGTERM drains the durable daemon cleanly"
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=
+if [ "$rc" -ne 0 ]; then
+    echo "serve-smoke: FAIL: durable daemon exited with status $rc" >&2
+    cat "$TMP/serve3.out" >&2
+    exit 1
+fi
+grep -q 'drain complete, journal clean' "$TMP/serve3.out"
 
 echo "serve-smoke: PASS"
