@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race strict fuzz bench chaos serve-smoke check clean
+.PHONY: all build test vet lint lint-json race strict fuzz bench chaos serve-smoke check clean
 
 all: build test
 
@@ -14,10 +14,16 @@ vet:
 	$(GO) vet ./...
 
 # egdlint: the repo's own static analyzers for MPI-usage and
-# determinism invariants (see internal/lint/README.md). Exit 0 means
-# every package honours them.
+# determinism invariants (see internal/lint/README.md). -tests also
+# loads _test.go files and runs the hang-class (SPMD-safety) subset
+# over them. Exit 0 means every package honours them.
 lint:
-	$(GO) run ./cmd/egdlint ./...
+	$(GO) run ./cmd/egdlint -tests ./...
+
+# Machine-readable findings for CI artifacts and tooling.
+lint-json:
+	$(GO) run ./cmd/egdlint -tests -json ./... > egdlint.json; \
+	code=$$?; cat egdlint.json; exit $$code
 
 # Race-detector pass over every package: the fault-injection, recovery,
 # and eviction tests run scripted kills/stalls under -race, and the
@@ -30,14 +36,16 @@ strict:
 	$(GO) test -tags mpistrict ./internal/mpi ./internal/sim
 
 # Short fuzz pass over every fuzz target that guards a parser: the
-# checkpoint wire format, the fault-spec grammar, the trace CSV, and the
-# job-store journal replayer (arbitrary tail damage must never panic).
+# checkpoint wire format, the fault-spec grammar, the trace CSV, the
+# job-store journal replayer (arbitrary tail damage must never panic),
+# and the egdlint allow-directive grammar.
 fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
 	$(GO) test -fuzz=FuzzParseFault -fuzztime=10s ./internal/mpi
 	$(GO) test -fuzz=FuzzWireFrame -fuzztime=10s ./internal/mpi
 	$(GO) test -fuzz=FuzzParseCSV -fuzztime=10s ./internal/trace
 	$(GO) test -fuzz=FuzzJournalTail -fuzztime=10s ./internal/server
+	$(GO) test -fuzz=FuzzDirective -fuzztime=10s ./internal/lint
 
 # Multi-process chaos smoke: egdrun spawns a real worker fleet over unix
 # sockets, runs a seeded config fault-free, then reruns it with one worker

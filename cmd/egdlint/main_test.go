@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os/exec"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func TestList(t *testing.T) {
 		t.Fatalf("egdlint -list exited %d: %s", code, errw.String())
 	}
 	got := out.String()
-	for _, name := range []string{"mpierrcheck", "mpirequest", "mpicollective", "mpitag", "determinism"} {
+	for _, name := range []string{"mpierrcheck", "mpirequest", "mpicollective", "mpitag", "mpisession", "determinism"} {
 		if !strings.Contains(got, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, got)
 		}
@@ -38,6 +39,61 @@ func TestRepoLintsClean(t *testing.T) {
 	}
 	if code != 0 {
 		t.Errorf("egdlint found violations in the repo:\n%s", out.String())
+	}
+}
+
+// Test files must lint clean too under the SPMD-safety subset: -tests
+// is how CI keeps hang-class bugs out of the test suite itself.
+func TestRepoTestFilesLintClean(t *testing.T) {
+	needGo(t)
+	var out, errw strings.Builder
+	code := run([]string{"-dir", "../..", "-tests", "./..."}, &out, &errw)
+	if code == 2 {
+		t.Fatalf("egdlint -tests failed to run: %s", errw.String())
+	}
+	if code != 0 {
+		t.Errorf("egdlint -tests found violations in the repo:\n%s", out.String())
+	}
+}
+
+// -json emits one well-formed array with the stable field names CI
+// tooling consumes, and keeps the findings-mean-exit-1 contract.
+func TestJSONOutput(t *testing.T) {
+	needGo(t)
+	var out, errw strings.Builder
+	code := run([]string{"-dir", "../../internal/lint/testdata/src", "-json", "./errcheck"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("expected exit 1 on dirty fixtures, got %d (stderr: %s)", code, errw.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json produced an empty array for dirty fixtures")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Column <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+
+	// A clean run still emits valid JSON: an empty array, exit 0.
+	out.Reset()
+	errw.Reset()
+	code = run([]string{"-dir", "../..", "-json", "./internal/bitset"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("clean package exited %d: %s%s", code, out.String(), errw.String())
+	}
+	var empty []json.RawMessage
+	if err := json.Unmarshal([]byte(out.String()), &empty); err != nil || len(empty) != 0 {
+		t.Errorf("clean -json run should emit an empty array, got %q (err %v)", out.String(), err)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer describes one static check, mirroring analysis.Analyzer.
@@ -77,13 +78,37 @@ func RunAnalyzers(dir string, patterns []string, analyzers []*Analyzer) ([]Findi
 	if err != nil {
 		return nil, err
 	}
+	return runOnPackages(fset, pkgs, analyzers, "")
+}
+
+// RunAnalyzersTests loads each package's in-package test variant
+// (production files plus TestGoFiles type-checked together) and applies
+// the analyzers — callers pass SPMDSafety(), not All(): test files
+// legitimately use bare tag literals, discarded errors, and wall-clock
+// time, but an unmatched Send/Recv or an unwaited Request in a test is
+// the same hang it is in production. Findings are filtered to _test.go
+// files; the production files were already covered by the plain run.
+func RunAnalyzersTests(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	fset, pkgs, err := LoadTests(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return runOnPackages(fset, pkgs, analyzers, "_test.go")
+}
+
+func runOnPackages(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, fileSuffix string) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		fs, err := runOnPackage(fset, pkg, analyzers)
 		if err != nil {
 			return nil, err
 		}
-		findings = append(findings, fs...)
+		for _, f := range fs {
+			if fileSuffix != "" && !strings.HasSuffix(f.Pos.Filename, fileSuffix) {
+				continue
+			}
+			findings = append(findings, f)
+		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -104,11 +129,10 @@ func RunAnalyzers(dir string, patterns []string, analyzers []*Analyzer) ([]Findi
 // runOnPackage applies the analyzers to one loaded package and filters
 // the diagnostics through its allow directives.
 func runOnPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
-		known[a.Name] = true
-	}
-	allows, findings := collectDirectives(fset, pkg.Files, known)
+	// The directive vocabulary is every registered rule, not just the
+	// analyzers this run enables: an allow for a suite-run analyzer must
+	// not become an "unknown rule" finding under a subset run.
+	allows, findings := collectDirectives(fset, pkg.Files, knownRules())
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,

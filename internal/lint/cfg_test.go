@@ -1,0 +1,350 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// buildCFG type-checks src (a function body wrapped in a fixed harness
+// of marker functions), builds the CFG of function f, and returns it
+// with the tools to locate marker calls.
+type cfgHarness struct {
+	t    *testing.T
+	g    *lint.CFG
+	body *ast.BlockStmt
+}
+
+func buildCFG(t *testing.T, body string) *cfgHarness {
+	t.Helper()
+	src := `package p
+
+func start()      {}
+func hit()        {}
+func other()      {}
+func cond() bool  { return false }
+func choice() int { return 0 }
+
+func f() {
+` + body + `
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	// Ignore type errors (e.g. unreachable markers): the builder only
+	// needs the AST plus whatever info resolved.
+	_, _ = conf.Check("p", fset, []*ast.File{file}, info)
+
+	var fn *ast.FuncDecl
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	if fn == nil {
+		t.Fatal("no function f in harness source")
+	}
+	return &cfgHarness{t: t, g: lint.NewCFG(fn.Body, info), body: fn.Body}
+}
+
+// marker returns the ExprStmt calling the named marker function.
+func (h *cfgHarness) marker(name string) ast.Node {
+	h.t.Helper()
+	var found ast.Node
+	ast.Inspect(h.body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name && found == nil {
+				found = es
+			}
+		}
+		return true
+	})
+	if found == nil {
+		h.t.Fatalf("no call to %s in harness body", name)
+	}
+	return found
+}
+
+// calls reports whether node n (or a child) calls the named function.
+func calls(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+func (h *cfgHarness) everyPathHits(fromMarker, hitMarker string) bool {
+	h.t.Helper()
+	return h.g.EveryPathHits(h.marker(fromMarker), calls(hitMarker))
+}
+
+func TestEveryPathHitsLinear(t *testing.T) {
+	h := buildCFG(t, `
+	start()
+	other()
+	hit()
+`)
+	if !h.everyPathHits("start", "hit") {
+		t.Error("straight-line hit not proven")
+	}
+	if h.everyPathHits("hit", "start") {
+		t.Error("hit before from-node should not count")
+	}
+}
+
+func TestEveryPathHitsEarlyReturn(t *testing.T) {
+	h := buildCFG(t, `
+	start()
+	if cond() {
+		return
+	}
+	hit()
+`)
+	if h.everyPathHits("start", "hit") {
+		t.Error("early return skips hit; must not be proven")
+	}
+}
+
+func TestEveryPathHitsBothArms(t *testing.T) {
+	h := buildCFG(t, `
+	start()
+	if cond() {
+		hit()
+		return
+	}
+	hit()
+`)
+	if !h.everyPathHits("start", "hit") {
+		t.Error("hit on both arms should be proven")
+	}
+}
+
+func TestEveryPathHitsFatalExcused(t *testing.T) {
+	h := buildCFG(t, `
+	start()
+	if cond() {
+		panic("dies before hit")
+	}
+	hit()
+`)
+	if !h.everyPathHits("start", "hit") {
+		t.Error("a path that panics cannot reach the exit; it is excused")
+	}
+}
+
+func TestEveryPathHitsLoopContinue(t *testing.T) {
+	h := buildCFG(t, `
+	for i := 0; i < 3; i++ {
+		start()
+		if cond() {
+			continue
+		}
+		hit()
+	}
+`)
+	if h.everyPathHits("start", "hit") {
+		t.Error("continue path exits the loop without hit; must not be proven")
+	}
+}
+
+func TestEveryPathHitsLoopBreakAfter(t *testing.T) {
+	h := buildCFG(t, `
+	start()
+	for i := 0; i < 3; i++ {
+		if cond() {
+			break
+		}
+	}
+	hit()
+`)
+	if !h.everyPathHits("start", "hit") {
+		t.Error("both loop exits (break, condition) flow into hit")
+	}
+}
+
+func TestEveryPathHitsSwitch(t *testing.T) {
+	h := buildCFG(t, `
+	start()
+	switch choice() {
+	case 0:
+		hit()
+	case 1:
+		hit()
+	}
+`)
+	if h.everyPathHits("start", "hit") {
+		t.Error("no default: control can fall past every case")
+	}
+
+	h = buildCFG(t, `
+	start()
+	switch choice() {
+	case 0:
+		hit()
+	default:
+		hit()
+	}
+`)
+	if !h.everyPathHits("start", "hit") {
+		t.Error("default present and every clause hits; should be proven")
+	}
+}
+
+func TestEveryPathHitsFallthrough(t *testing.T) {
+	h := buildCFG(t, `
+	switch choice() {
+	case 0:
+		start()
+		fallthrough
+	case 1:
+		hit()
+	default:
+	}
+`)
+	if !h.everyPathHits("start", "hit") {
+		t.Error("fallthrough chains case 0 into case 1's hit")
+	}
+}
+
+func TestEveryPathHitsSelect(t *testing.T) {
+	h := buildCFG(t, `
+	ch := make(chan int)
+	start()
+	select {
+	case <-ch:
+		hit()
+	case v := <-ch:
+		_ = v
+		hit()
+	}
+`)
+	if !h.everyPathHits("start", "hit") {
+		t.Error("a select without default blocks until a clause runs; both hit")
+	}
+}
+
+func TestEveryPathHitsLabeledBreak(t *testing.T) {
+	h := buildCFG(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			start()
+			if cond() {
+				break outer
+			}
+		}
+		hit()
+	}
+`)
+	if h.everyPathHits("start", "hit") {
+		t.Error("break outer skips the inner-loop epilogue hit")
+	}
+}
+
+func TestReaches(t *testing.T) {
+	h := buildCFG(t, `
+	start()
+	if cond() {
+		return
+	}
+	hit()
+	other()
+`)
+	if !h.g.Reaches(h.marker("start"), h.marker("hit")) {
+		t.Error("start reaches hit on the fall-through path")
+	}
+	if !h.g.Reaches(h.marker("hit"), h.marker("other")) {
+		t.Error("same-block ordering: hit precedes other")
+	}
+	if h.g.Reaches(h.marker("other"), h.marker("start")) {
+		t.Error("no back edge: other must not reach start")
+	}
+}
+
+func TestReachableBlocksPrunesDeadCode(t *testing.T) {
+	h := buildCFG(t, `
+	start()
+	return
+	hit()
+`)
+	blk, ok := h.g.Find(h.marker("hit"))
+	if !ok {
+		t.Fatal("dead statement not indexed")
+	}
+	if h.g.ReachableBlocks()[blk] {
+		t.Error("statement after return must be unreachable")
+	}
+	ent, ok := h.g.Find(h.marker("start"))
+	if !ok {
+		t.Fatal("entry statement not indexed")
+	}
+	if !h.g.ReachableBlocks()[ent] {
+		t.Error("entry statement must be reachable")
+	}
+}
+
+func TestGuardsCarryBranchArms(t *testing.T) {
+	h := buildCFG(t, `
+	if cond() {
+		start()
+	} else {
+		hit()
+	}
+	other()
+`)
+	thenBlk, ok := h.g.Find(h.marker("start"))
+	if !ok {
+		t.Fatal("then-arm statement not indexed")
+	}
+	elseBlk, ok := h.g.Find(h.marker("hit"))
+	if !ok {
+		t.Fatal("else-arm statement not indexed")
+	}
+	afterBlk, ok := h.g.Find(h.marker("other"))
+	if !ok {
+		t.Fatal("merge statement not indexed")
+	}
+	if n := len(thenBlk.Guards); n != 1 || thenBlk.Guards[0].Branch != 0 {
+		t.Errorf("then arm guards = %+v, want one guard with Branch 0", thenBlk.Guards)
+	}
+	if n := len(elseBlk.Guards); n != 1 || elseBlk.Guards[0].Branch != 1 {
+		t.Errorf("else arm guards = %+v, want one guard with Branch 1", elseBlk.Guards)
+	}
+	if len(afterBlk.Guards) != 0 {
+		t.Errorf("merge block guards = %+v, want none", afterBlk.Guards)
+	}
+	if thenBlk.Guards[0].Stmt != elseBlk.Guards[0].Stmt {
+		t.Error("both arms must share the same branching statement")
+	}
+	if !strings.Contains(types.ExprString(thenBlk.Guards[0].Cond), "cond()") {
+		t.Errorf("guard condition = %s, want the if condition", types.ExprString(thenBlk.Guards[0].Cond))
+	}
+}

@@ -52,25 +52,34 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				rest := strings.TrimPrefix(c.Text, directivePrefix)
-				fields := strings.Fields(rest)
-				switch {
-				case len(fields) == 0:
-					findings = append(findings, Finding{Analyzer: "directive", Pos: pos,
-						Message: "egdlint:allow needs a rule name and a reason"})
-				case !known[fields[0]]:
-					findings = append(findings, Finding{Analyzer: "directive", Pos: pos,
-						Message: "egdlint:allow names unknown rule " + quote(fields[0])})
-				case len(fields) < 2:
-					findings = append(findings, Finding{Analyzer: "directive", Pos: pos,
-						Message: "egdlint:allow " + fields[0] + " needs a reason"})
-				default:
-					allows.add(pos.Filename, pos.Line, fields[0])
+				rule, problem, ok := parseDirective(c.Text, known)
+				if !ok {
+					findings = append(findings, Finding{Analyzer: "directive", Pos: pos, Message: problem})
+					continue
 				}
+				allows.add(pos.Filename, pos.Line, rule)
 			}
 		}
 	}
 	return allows, findings
+}
+
+// parseDirective parses one //egdlint:allow comment (text includes the
+// prefix). It either returns the suppressed rule (ok) or exactly one
+// problem message for the "directive" pseudo-analyzer (!ok) — never
+// both, never neither: the fuzz target FuzzDirective holds it to that.
+func parseDirective(text string, known map[string]bool) (rule, problem string, ok bool) {
+	rest := strings.TrimPrefix(text, directivePrefix)
+	fields := strings.Fields(rest)
+	switch {
+	case len(fields) == 0:
+		return "", "egdlint:allow needs a rule name and a reason", false
+	case !known[fields[0]]:
+		return "", "egdlint:allow names unknown rule " + quote(fields[0]), false
+	case len(fields) < 2:
+		return "", "egdlint:allow " + fields[0] + " needs a reason", false
+	}
+	return fields[0], "", true
 }
 
 func quote(s string) string { return `"` + s + `"` }

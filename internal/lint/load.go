@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // Package is one loaded, parsed, and type-checked target package.
@@ -31,6 +32,7 @@ type listedPackage struct {
 	ImportPath string
 	Name       string
 	Dir        string
+	ForTest    string // set on test variants: the import path under test
 	GoFiles    []string
 	Export     string
 	DepOnly    bool
@@ -46,9 +48,24 @@ type listedPackage struct {
 // Only non-test GoFiles are loaded: the invariants egdlint enforces
 // protect the simulation's production ranks; tests exercise the fault
 // paths with patterns (bare literals, discarded results) the analyzers
-// would have to special-case.
+// would have to special-case. LoadTests opts test files in for the
+// analyzers whose findings are hangs rather than style.
 func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
-	listed, err := goList(dir, patterns)
+	return load(dir, patterns, false)
+}
+
+// LoadTests is Load in test mode: `go list -test` adds each package's
+// in-package test variant (production files plus TestGoFiles, compiled
+// as one package), and those variants replace the plain packages as
+// targets. External _test packages are skipped — their imports resolve
+// against test-variant export data the offline loader does not build —
+// and this repo keeps its test files in-package.
+func LoadTests(dir string, patterns []string) (*token.FileSet, []*Package, error) {
+	return load(dir, patterns, true)
+}
+
+func load(dir string, patterns []string, tests bool) (*token.FileSet, []*Package, error) {
+	listed, err := goList(dir, patterns, tests)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -60,11 +77,31 @@ func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
 			return nil, nil, fmt.Errorf("lint: go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
 		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+			// A test variant's ImportPath carries a " [pkg.test]" suffix;
+			// imports in source always name the plain path, so key by it and
+			// keep the plain package's export when both appear.
+			key, _, isVariant := strings.Cut(p.ImportPath, " [")
+			if _, dup := exports[key]; !dup || !isVariant {
+				exports[key] = p.Export
+			}
 		}
-		if !p.DepOnly {
-			targets = append(targets, p)
+		if p.DepOnly {
+			continue
 		}
+		if tests {
+			// Keep only in-package test variants (ForTest set, package name
+			// without the _test suffix): they hold the TestGoFiles.
+			if p.ForTest == "" || strings.HasSuffix(p.Name, "_test") || strings.HasSuffix(p.ImportPath, ".test") {
+				continue
+			}
+			variant := *p
+			if i := strings.Index(variant.ImportPath, " ["); i >= 0 {
+				variant.ImportPath = variant.ImportPath[:i]
+			}
+			targets = append(targets, &variant)
+			continue
+		}
+		targets = append(targets, p)
 	}
 
 	fset := token.NewFileSet()
@@ -91,12 +128,15 @@ func Load(dir string, patterns []string) (*token.FileSet, []*Package, error) {
 	return fset, pkgs, nil
 }
 
-func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{
+func goList(dir string, patterns []string, tests bool) ([]*listedPackage, error) {
+	args := []string{
 		"list", "-e", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Error",
-		"--",
-	}, patterns...)
+		"-json=ImportPath,Name,Dir,ForTest,GoFiles,Export,DepOnly,Error",
+	}
+	if tests {
+		args = append(args, "-test")
+	}
+	args = append(append(args, "--"), patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer

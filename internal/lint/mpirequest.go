@@ -5,39 +5,61 @@ import (
 	"go/types"
 )
 
-// MPIRequest flags *mpi.Request values from Isend/Irecv that never
-// reach Wait or Cancel.
+// MPIRequest flags *mpi.Request values from Isend/Irecv that can reach
+// a function exit without Wait or Cancel.
 //
 // An Irecv that is neither waited nor cancelled parks a goroutine on
 // the rank's inbox until the world shuts down — exactly the leak PR 1
 // fixed in the shutdown path — and an unwaited Isend discards the
-// delivery error. The check is conservative: a request that escapes
-// the function (returned, stored, passed along, appended) is assumed
-// to be completed elsewhere and is not flagged.
+// delivery error. The check reasons over the control-flow graph: the
+// request must reach a settling use on *every* path from its creation
+// to the function exit, so a Wait that an early return or a loop
+// continue can skip is flagged even though some path does settle it.
+//
+// Remaining approximations, all conservative in the no-false-positive
+// direction: a request that escapes the function (returned, passed,
+// stored, appended, captured by a closure) is assumed to be completed
+// by whoever holds it; paths that cannot return (panic, os.Exit,
+// log.Fatal, t.Fatal) are excused; a deferred Wait settles at the
+// defer statement's position rather than at function exit; and
+// re-assigning a live request variable in a loop is not flagged as
+// overwriting the previous request.
 var MPIRequest = &Analyzer{
 	Name: "mpirequest",
-	Doc:  "every *mpi.Request from Isend/Irecv must reach Wait or Cancel",
+	Doc:  "every *mpi.Request from Isend/Irecv must reach Wait or Cancel on every path",
 	Run:  runMPIRequest,
 }
 
 func runMPIRequest(pass *Pass) error {
 	for _, f := range pass.Files {
-		checkRequestsInFile(pass, f)
+		// Each function body — declared or literal — is its own graph.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkRequestPaths(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkRequestPaths(pass, n.Body)
+			}
+			return true
+		})
 	}
 	return nil
 }
 
-type requestUse struct {
-	def     ast.Node // statement that created the request
-	method  string   // Isend or Irecv
-	settled bool     // reached Wait/Cancel or escaped the function
+type requestDef struct {
+	stmt   ast.Node // statement that created the request
+	obj    types.Object
+	method string // Isend or Irecv
 }
 
-func checkRequestsInFile(pass *Pass, f *ast.File) {
-	requests := make(map[types.Object]*requestUse)
+func checkRequestPaths(pass *Pass, body *ast.BlockStmt) {
+	var defs []requestDef
 
-	// Pass 1: find request definitions and immediately-dropped requests.
-	ast.Inspect(f, func(n ast.Node) bool {
+	// Pass 1 over this unit only (nested function literals are their own
+	// units): immediately-dropped requests and tracked definitions.
+	unitInspect(body, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.ExprStmt:
 			if method, ok := requestCall(pass, n.X); ok {
@@ -61,66 +83,122 @@ func checkRequestsInFile(pass *Pass, f *ast.File) {
 				if obj == nil {
 					obj = pass.TypesInfo.Uses[id]
 				}
-				if obj != nil && requests[obj] == nil {
-					requests[obj] = &requestUse{def: n, method: method}
+				if obj == nil {
+					continue
 				}
+				if obj.Pos() < body.Pos() || obj.Pos() >= body.End() {
+					// Assigned to a variable declared outside this unit (a
+					// captured or package-level var): published, like a store
+					// into a field — whoever reads it settles it.
+					continue
+				}
+				defs = append(defs, requestDef{stmt: n, obj: obj, method: method})
 			}
 		}
-		return true
 	})
-	if len(requests) == 0 {
+	if len(defs) == 0 {
 		return
 	}
 
-	// Pass 2: classify every use of each request variable. A use as the
-	// receiver of Wait or Cancel settles it; any non-receiver use means
-	// it escapes and is settled elsewhere; a use only as the receiver of
-	// other methods settles nothing.
-	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
+	g := NewCFG(body, pass.TypesInfo)
+	seen := make(map[types.Object]bool)
+	for _, def := range defs {
+		if seen[def.obj] {
+			continue // re-assigned in a loop: one report per variable
 		}
-		stack = append(stack, n)
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
+		seen[def.obj] = true
+		settles := func(n ast.Node) bool { return nodeSettles(pass, n, def.obj) }
+		if g.EveryPathHits(def.stmt, settles) {
+			continue
 		}
-		req := requests[pass.TypesInfo.Uses[id]]
-		if req == nil {
-			return true
-		}
-		parent := stack[len(stack)-2]
-		if asgn, ok := parent.(*ast.AssignStmt); ok {
-			for _, lhs := range asgn.Lhs {
-				if lhs == ast.Expr(id) {
-					return true // assignment target, not a consuming use
-				}
-			}
-		}
-		if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
-			if sel.Sel.Name == "Wait" || sel.Sel.Name == "Cancel" {
-				// Only an actual call settles it; a method value does not.
-				if len(stack) >= 3 {
-					if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
-						req.settled = true
-					}
-				}
-			}
-			return true
-		}
-		// Appears outside a selector: returned, passed, stored, compared —
-		// assume whoever holds it completes it.
-		req.settled = true
-		return true
-	})
-
-	for _, req := range requests {
-		if !req.settled {
-			pass.Reportf(req.def.Pos(), "*mpi.Request from %s never reaches Wait or Cancel", req.method)
+		if nodeSettles(pass, body, def.obj) {
+			// Settled somewhere, but not on every path: the early-return /
+			// loop-skip leak class.
+			pass.Reportf(def.stmt.Pos(),
+				"*mpi.Request from %s is not settled on every path: a path reaches return before Wait or Cancel",
+				def.method)
+		} else {
+			pass.Reportf(def.stmt.Pos(), "*mpi.Request from %s never reaches Wait or Cancel", def.method)
 		}
 	}
+}
+
+// unitInspect walks n, skipping nested function literals: they are
+// separate analysis units with their own control-flow graphs.
+func unitInspect(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		visit(m)
+		return true
+	})
+}
+
+// nodeSettles reports whether node n settles the request held by obj: a
+// Wait/Cancel call on it, any escaping use (returned, passed, stored,
+// appended, compared), or capture by a nested function literal (whoever
+// holds the closure is assumed to complete it). A bare method value
+// (r.Wait without the call) settles nothing, and assignment targets are
+// not uses.
+func nodeSettles(pass *Pass, n ast.Node, obj types.Object) bool {
+	settled := false
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if settled {
+			return false // prune: nothing pushed, so nothing to pop
+		}
+		stack = append(stack, m)
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			if identSettles(stack, id) {
+				settled = true
+			}
+		}
+		return true
+	})
+	return settled
+}
+
+// identSettles classifies one appearance of a request variable given
+// the ancestor stack (stack[len(stack)-1] == id).
+func identSettles(stack []ast.Node, id *ast.Ident) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	for _, anc := range stack[:len(stack)-1] {
+		if _, ok := anc.(*ast.FuncLit); ok {
+			return true // captured by a closure: escapes
+		}
+	}
+	parent := stack[len(stack)-2]
+	if asgn, ok := parent.(*ast.AssignStmt); ok {
+		for _, lhs := range asgn.Lhs {
+			if lhs == ast.Expr(id) {
+				return false // assignment target, not a consuming use
+			}
+		}
+	}
+	if sel, ok := parent.(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
+		if sel.Sel.Name == "Wait" || sel.Sel.Name == "Cancel" {
+			// Only an actual call settles it; a method value does not.
+			if len(stack) >= 3 {
+				if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+					return true
+				}
+			}
+		}
+		return false // receiver of some other method: settles nothing
+	}
+	// Appears outside a selector: returned, passed, stored, compared —
+	// assume whoever holds it completes it.
+	return true
 }
 
 // requestCall reports whether e is a call to Comm.Isend or Comm.Irecv.

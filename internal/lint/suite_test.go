@@ -27,6 +27,11 @@ func TestMPIRequest(t *testing.T) {
 	linttest.Run(t, lint.MPIRequest, "request")
 }
 
+func TestMPISession(t *testing.T) {
+	needGo(t)
+	linttest.Run(t, lint.MPISession, "session")
+}
+
 func TestMPICollective(t *testing.T) {
 	needGo(t)
 	linttest.Run(t, lint.MPICollective, "collective")

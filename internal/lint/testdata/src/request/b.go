@@ -1,0 +1,92 @@
+// Control-flow shapes for mpirequest's all-paths reasoning: a request
+// settled on one path can still leak on another.
+package request
+
+import "fixtures/mpi"
+
+// earlyReturnLeak waits on the happy path but leaks on the early return
+// — the false-negative class the single-use check missed.
+func earlyReturnLeak(c *mpi.Comm, flag bool) error {
+	r := c.Irecv(0, tagData) // want `\*mpi\.Request from Irecv is not settled on every path`
+	if flag {
+		return nil
+	}
+	_, err := r.Wait()
+	return err
+}
+
+// loopContinueLeak skips the Wait whenever the continue fires, leaking
+// that iteration's request.
+func loopContinueLeak(c *mpi.Comm, n int) {
+	for i := 0; i < n; i++ {
+		r := c.Irecv(i, tagData) // want `\*mpi\.Request from Irecv is not settled on every path`
+		if i%2 == 0 {
+			continue
+		}
+		_, _ = r.Wait()
+	}
+}
+
+// switchLeak settles in every written case but falls past the switch
+// when no case matches.
+func switchLeak(c *mpi.Comm, mode int) {
+	r := c.Irecv(0, tagData) // want `\*mpi\.Request from Irecv is not settled on every path`
+	switch mode {
+	case 0:
+		_, _ = r.Wait()
+	case 1:
+		r.Cancel()
+	}
+}
+
+// bothArms settles on every branch. Clean.
+func bothArms(c *mpi.Comm, flag bool) {
+	r := c.Irecv(0, tagData)
+	if flag {
+		_, _ = r.Wait()
+	} else {
+		r.Cancel()
+	}
+}
+
+// fatalPathExcused: a path that dies in panic cannot leak. Clean.
+func fatalPathExcused(c *mpi.Comm, err error) {
+	r := c.Irecv(0, tagData)
+	if err != nil {
+		panic(err)
+	}
+	_, _ = r.Wait()
+}
+
+// deferredCancel settles at the defer statement: every later path —
+// including the early return — runs the deferred Cancel. Clean.
+func deferredCancel(c *mpi.Comm, flag bool) {
+	r := c.Irecv(0, tagData)
+	defer r.Cancel()
+	if flag {
+		return
+	}
+}
+
+// capturedAssign publishes the request into a variable declared outside
+// the closure: the outer function settles it after the closure returns.
+// Clean.
+func capturedAssign(c *mpi.Comm) {
+	var req *mpi.Request
+	post := func() {
+		req = c.Irecv(0, tagData)
+	}
+	post()
+	_, _ = req.Wait()
+}
+
+// splitSettle escapes on one path and waits on the other; both count.
+// Clean.
+func splitSettle(c *mpi.Comm, sink chan *mpi.Request, flag bool) {
+	r := c.Irecv(0, tagData)
+	if flag {
+		sink <- r
+		return
+	}
+	_, _ = r.Wait()
+}
