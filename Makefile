@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-json race strict fuzz bench chaos serve-smoke check clean
+.PHONY: all build test vet lint lint-json race strict fuzz bench docs chaos serve-smoke check clean
 
 all: build test
 
@@ -64,12 +64,22 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 # Single-iteration sweep of the paper-artefact benchmarks (bench_test.go)
-# with allocation stats, streamed as test2json records to BENCH_5.json —
+# with allocation stats, streamed as test2json records to BENCH_10.json —
 # the machine-readable artifact CI uploads. One iteration keeps the sweep
-# minutes-scale; shapes (scaling curves, compute/comm split) survive, but
-# absolute ns/op are noisy at -benchtime=1x.
+# minutes-scale; shapes (scaling curves, compute/comm split, the payoff
+# cache's game_play speedup) survive, but absolute ns/op are noisy at
+# -benchtime=1x. The cache ablation runs at 10 iterations on top so its
+# headline ratio (docs/KERNEL.md) is stable enough to compare.
 bench:
-	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime 1x . > BENCH_5.json
+	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime 1x . > BENCH_10.json
+	$(GO) test -json -run '^$$' -bench 'Ablation_PayoffCache' -benchtime 10x . >> BENCH_10.json
+
+# Documentation gate: package docs present on every exported symbol
+# (the pkgdoc egdlint analyzer alone) and no broken relative links or
+# heading anchors anywhere in the markdown tree (cmd/egddoc).
+docs:
+	$(GO) run ./cmd/egdlint -run pkgdoc ./...
+	$(GO) run ./cmd/egddoc
 
 check: vet lint
 	$(GO) test -race ./...

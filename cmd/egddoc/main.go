@@ -1,0 +1,276 @@
+// Command egddoc is the repository's markdown link checker: it walks the
+// tree for .md files and verifies that every relative link resolves to an
+// existing file and that every fragment resolves to a GitHub-style heading
+// anchor in its target document. External schemes (http, https, mailto) are
+// skipped — CI must not depend on the network.
+//
+//	egddoc              check every .md under the current directory
+//	egddoc -dir path    check a tree rooted elsewhere
+//	egddoc README.md docs/KERNEL.md   check only the named files
+//
+// Exit status: 0 clean, 1 broken links, 2 operational error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// linkPattern matches inline markdown links and images: [text](target).
+// Nested brackets and reference-style links are out of scope — the repo's
+// documentation uses inline links exclusively.
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\))?[^()\s]*)\)`)
+
+// problem is one broken link, reported egdlint-style as file:line: message.
+type problem struct {
+	file string
+	line int
+	msg  string
+}
+
+func (p problem) String() string {
+	return fmt.Sprintf("%s:%d: %s", p.file, p.line, p.msg)
+}
+
+// doc is one parsed markdown file: its link occurrences and the set of
+// GitHub-style anchors its headings generate.
+type doc struct {
+	links   []link
+	anchors map[string]bool
+}
+
+type link struct {
+	line   int
+	target string
+}
+
+// parseDoc scans one markdown file, skipping fenced code blocks (``` or
+// ~~~) so shell snippets containing [x](y) or # comments neither produce
+// false links nor false anchors.
+func parseDoc(path string) (*doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d := &doc{anchors: map[string]bool{}}
+	seen := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	inFence := false
+	fence := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if inFence {
+			if strings.HasPrefix(trimmed, fence) {
+				inFence = false
+			}
+			continue
+		}
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = true
+			fence = trimmed[:3]
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			if a := headingAnchor(trimmed); a != "" {
+				if n := seen[a]; n > 0 {
+					d.anchors[fmt.Sprintf("%s-%d", a, n)] = true
+				} else {
+					d.anchors[a] = true
+				}
+				seen[a]++
+			}
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			// Strip an optional link title: [t](file.md "title").
+			if i := strings.IndexAny(target, " \t"); i >= 0 {
+				target = target[:i]
+			}
+			target = strings.Trim(target, "<>")
+			d.links = append(d.links, link{line: lineNo, target: target})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// headingAnchor converts "## Some Heading!" to GitHub's anchor slug:
+// lowercase, punctuation dropped, spaces and hyphens kept as hyphens.
+func headingAnchor(line string) string {
+	text := strings.TrimLeft(line, "#")
+	if text == line || (text != "" && text[0] != ' ' && text[0] != '\t') {
+		return "" // "#!/bin/sh"-style lines are not headings
+	}
+	text = strings.TrimSpace(text)
+	// Inline code and link syntax contribute their text only.
+	text = strings.NewReplacer("`", "", "[", "", "]", "").Replace(text)
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		case r == ' ' || r == '\t':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// external reports whether the link target leaves the repository: URL
+// schemes and protocol-relative references are not checked.
+func external(target string) bool {
+	for _, p := range []string{"http://", "https://", "mailto:", "ftp://", "//"} {
+		if strings.HasPrefix(target, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// collect walks root for .md files, skipping hidden directories and
+// testdata fixtures (fixtures may deliberately contain broken links).
+func collect(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "node_modules" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(name), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	sort.Strings(files)
+	return files, err
+}
+
+// check verifies every link of every file. Cross-file fragment targets are
+// parsed lazily and memoized, so linking into a file outside the checked
+// set (e.g. a doc under internal/) still validates its anchors.
+func check(root string, files []string) ([]problem, error) {
+	parsed := map[string]*doc{}
+	load := func(path string) (*doc, error) {
+		if d, ok := parsed[path]; ok {
+			return d, nil
+		}
+		d, err := parseDoc(path)
+		if err != nil {
+			return nil, err
+		}
+		parsed[path] = d
+		return d, nil
+	}
+	var problems []problem
+	for _, file := range files {
+		d, err := load(file)
+		if err != nil {
+			return nil, err
+		}
+		rel := file
+		if r, err := filepath.Rel(root, file); err == nil {
+			rel = r
+		}
+		for _, l := range d.links {
+			if external(l.target) || l.target == "" {
+				continue
+			}
+			pathPart, frag, _ := strings.Cut(l.target, "#")
+			targetFile := file
+			if pathPart != "" {
+				if strings.HasPrefix(pathPart, "/") {
+					// Root-relative, GitHub-style: resolve against the repo root.
+					targetFile = filepath.Join(root, filepath.FromSlash(pathPart))
+				} else {
+					targetFile = filepath.Join(filepath.Dir(file), filepath.FromSlash(pathPart))
+				}
+				info, err := os.Stat(targetFile)
+				if err != nil {
+					problems = append(problems, problem{rel, l.line, fmt.Sprintf("broken link %q: %s does not exist", l.target, pathPart)})
+					continue
+				}
+				if frag != "" && info.IsDir() {
+					problems = append(problems, problem{rel, l.line, fmt.Sprintf("broken link %q: fragment on a directory", l.target)})
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.EqualFold(filepath.Ext(targetFile), ".md") {
+				continue // anchors into non-markdown files are viewer-defined
+			}
+			td, err := load(targetFile)
+			if err != nil {
+				return nil, err
+			}
+			if !td.anchors[strings.ToLower(frag)] {
+				problems = append(problems, problem{rel, l.line, fmt.Sprintf("broken link %q: no heading anchor #%s in %s", l.target, frag, pathPart)})
+			}
+		}
+	}
+	return problems, nil
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("egddoc", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	dir := fs.String("dir", ".", "repository root to resolve links against")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = collect(*dir)
+		if err != nil {
+			fmt.Fprintln(errw, "egddoc:", err)
+			return 2
+		}
+	} else {
+		for i, f := range files {
+			if !filepath.IsAbs(f) {
+				files[i] = filepath.Join(*dir, f)
+			}
+		}
+	}
+	problems, err := check(*dir, files)
+	if err != nil {
+		fmt.Fprintln(errw, "egddoc:", err)
+		return 2
+	}
+	for _, p := range problems {
+		fmt.Fprintln(out, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(out, "egddoc: %d broken link(s) in %d file(s) checked\n", len(problems), len(files))
+		return 1
+	}
+	fmt.Fprintf(out, "egddoc: %d file(s) clean\n", len(files))
+	return 0
+}

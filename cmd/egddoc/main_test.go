@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A tree with valid relative links, heading anchors, external URLs and
+// fenced code blocks lints clean.
+func TestCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", `# Top
+
+See [the guide](docs/GUIDE.md) and [its setup](docs/GUIDE.md#setup-steps).
+Self link: [below](#details). External: [site](https://example.com/x.md).
+
+	[not a link in indented code? still fine](docs/GUIDE.md)
+
+`+"```"+`
+[broken inside fence](nope.md)
+# not a heading
+`+"```"+`
+
+## Details
+`)
+	write(t, dir, "docs/GUIDE.md", `# Guide
+
+## Setup Steps!
+
+Back to [readme](../README.md#details).
+`)
+	var out, errw strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errw); code != 0 {
+		t.Fatalf("clean tree exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Errorf("missing clean summary: %s", out.String())
+	}
+}
+
+// Missing files and missing anchors are reported with file:line and the
+// run exits 1.
+func TestBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", `# Top
+
+[gone](docs/MISSING.md)
+[bad anchor](#no-such-heading)
+[bad cross anchor](OTHER.md#nope)
+`)
+	write(t, dir, "OTHER.md", "# Other\n")
+	var out, errw strings.Builder
+	code := run([]string{"-dir", dir}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("broken tree exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"README.md:3", "MISSING.md does not exist",
+		"README.md:4", "no heading anchor #no-such-heading",
+		"README.md:5", "no heading anchor #nope",
+		"3 broken link(s)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// Duplicate headings get GitHub's -1/-2 suffixes; inline code in headings
+// contributes its text.
+func TestAnchorSlugs(t *testing.T) {
+	for heading, want := range map[string]string{
+		"## Some Heading!":      "some-heading",
+		"### `code` & symbols":  "code--symbols",
+		"# A_b-c 9":             "a_b-c-9",
+		"#notaheading":          "",
+		"## [Linked](x.md) Hdr": "linkedxmd-hdr",
+	} {
+		if got := headingAnchor(heading); got != want {
+			t.Errorf("headingAnchor(%q) = %q, want %q", heading, got, want)
+		}
+	}
+
+	dir := t.TempDir()
+	write(t, dir, "A.md", `# Dup
+
+[first](#dup-1)
+[second](#dup-2)
+
+## Dup
+## Dup
+`)
+	var out, errw strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errw); code != 0 {
+		t.Fatalf("duplicate-heading anchors broken:\n%s%s", out.String(), errw.String())
+	}
+}
+
+// testdata directories are fixtures, not documentation: their broken
+// links must not fail the repo check.
+func TestSkipsTestdata(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "README.md", "# ok\n")
+	write(t, dir, "testdata/FIXTURE.md", "[broken](missing.md)\n")
+	write(t, dir, ".hidden/SECRET.md", "[broken](missing.md)\n")
+	var out, errw strings.Builder
+	if code := run([]string{"-dir", dir}, &out, &errw); code != 0 {
+		t.Fatalf("testdata fixtures failed the check:\n%s%s", out.String(), errw.String())
+	}
+}
+
+// Explicit file arguments check only those files but still resolve their
+// targets relative to -dir.
+func TestExplicitFiles(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "GOOD.md", "# g\n[ok](OTHER.md)\n")
+	write(t, dir, "BAD.md", "[gone](nope.md)\n")
+	write(t, dir, "OTHER.md", "# o\n")
+	var out, errw strings.Builder
+	if code := run([]string{"-dir", dir, "GOOD.md"}, &out, &errw); code != 0 {
+		t.Fatalf("explicit clean file exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+	out.Reset()
+	if code := run([]string{"-dir", dir, "BAD.md"}, &out, &errw); code != 1 {
+		t.Fatalf("explicit broken file exited %d:\n%s", code, out.String())
+	}
+}
+
+// The real repository documentation must be link-clean — the same
+// invariant the CI docs job enforces.
+func TestRepoDocsLinkClean(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-dir", "../.."}, &out, &errw)
+	if code == 2 {
+		t.Fatalf("egddoc failed to run: %s", errw.String())
+	}
+	if code != 0 {
+		t.Errorf("repository docs have broken links:\n%s", out.String())
+	}
+}

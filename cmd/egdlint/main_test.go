@@ -113,6 +113,54 @@ func TestFixturesAreDirty(t *testing.T) {
 	}
 }
 
+// -run narrows the suite to the named analyzers: a fixture tree dirty
+// for mpitag lints clean under -run mpierrcheck, and an unknown name is
+// an operational error, not a silent no-op.
+func TestRunFilter(t *testing.T) {
+	needGo(t)
+	var out, errw strings.Builder
+	code := run([]string{"-dir", "../../internal/lint/testdata/src", "-run", "mpitag", "./tag"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("-run mpitag on dirty tag fixtures exited %d (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "mpitag") {
+		t.Errorf("filtered run missing mpitag findings:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "mpierrcheck") {
+		t.Errorf("-run mpitag leaked other analyzers:\n%s", out.String())
+	}
+
+	out.Reset()
+	errw.Reset()
+	code = run([]string{"-dir", "../../internal/lint/testdata/src", "-run", "mpierrcheck", "./tag"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("-run mpierrcheck over tag fixtures exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+
+	// The docs-CI invocation: pkgdoc alone over the real repo.
+	out.Reset()
+	errw.Reset()
+	code = run([]string{"-dir", "../..", "-run", "pkgdoc", "./..."}, &out, &errw)
+	if code != 0 {
+		t.Errorf("-run pkgdoc over the repo exited %d:\n%s%s", code, out.String(), errw.String())
+	}
+}
+
+func TestRunFilterUnknownName(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-run", "pkgdocs", "./..."}, &out, &errw); code != 2 {
+		t.Fatalf("unknown analyzer name exited %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "pkgdocs") {
+		t.Errorf("error does not name the unknown analyzer: %s", errw.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-run", " , ", "./..."}, &out, &errw); code != 2 {
+		t.Fatal("empty -run selection accepted")
+	}
+}
+
 func TestBadFlagExitsTwo(t *testing.T) {
 	var out, errw strings.Builder
 	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {

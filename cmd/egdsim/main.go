@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/game"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/sim"
@@ -62,6 +63,8 @@ func run(args []string, out io.Writer) error {
 		search    = fs.Bool("search", false, "use the paper-faithful linear find_state lookup")
 		fermi     = fs.Bool("fermi", false, "unconditional Fermi adoption (no teacher-better gate; Traulsen et al.)")
 		exact     = fs.Bool("exact", false, "exact infinite-game Markov payoffs instead of sampled matches")
+		payCache  = fs.Bool("payoff-cache", false, "memoize strategy-pair payoffs (bit-identical results; see docs/KERNEL.md)")
+		payCacheN = fs.Int("payoff-cache-size", 0, "payoff cache entries per rank for -payoff-cache (0 = engine default)")
 		csvPath   = fs.String("trace", "", "write per-generation CSV trace to this file")
 		ckpt      = fs.String("checkpoint", "", "write final population checkpoint to this file")
 		resume    = fs.String("resume", "", "resume from a checkpoint file (continues its trajectory)")
@@ -101,6 +104,8 @@ func run(args []string, out io.Writer) error {
 	cfg.UseSearchEngine = *search
 	cfg.AllowWorseAdoption = *fermi
 	cfg.ExactPayoffs = *exact
+	cfg.PayoffCache = *payCache
+	cfg.PayoffCacheSize = *payCacheN
 	if *resume != "" {
 		f, err := os.Open(*resume)
 		if err != nil {
@@ -347,6 +352,18 @@ func printPhaseSummary(out io.Writer, res *sim.Result) {
 	if sum > 0 {
 		fmt.Fprintf(out, "compute/comm split: compute %.1f%%, comm %.1f%%, other %.1f%%\n",
 			100*float64(compute)/float64(sum), 100*float64(comm)/float64(sum), 100*float64(other)/float64(sum))
+	}
+	var cs game.CacheStats
+	cached := false
+	for _, p := range res.Metrics.Phases {
+		if p.Cache != nil {
+			cs.Merge(*p.Cache)
+			cached = true
+		}
+	}
+	if cached {
+		fmt.Fprintf(out, "payoff cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d entries resident\n",
+			cs.Hits, cs.Misses, 100*cs.HitRate(), cs.Evictions, cs.Entries)
 	}
 }
 

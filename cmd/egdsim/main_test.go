@@ -180,6 +180,55 @@ func TestRunMetricsRejectsUnknownFormat(t *testing.T) {
 	}
 }
 
+// -payoff-cache keeps the trajectory identical and prints the cache
+// summary line when metrics are on.
+func TestRunPayoffCacheSmoke(t *testing.T) {
+	dir := t.TempDir()
+	capture := func(extra ...string) string {
+		var out strings.Builder
+		args := []string{
+			"-memory", "1", "-ssets", "10", "-gens", "200", "-rounds", "20",
+			"-full", "-seed", "9",
+		}
+		args = append(args, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run failed: %v\noutput:\n%s", err, out.String())
+		}
+		return out.String()
+	}
+	plain := capture()
+	cached := capture("-payoff-cache", "-payoff-cache-size", "4096",
+		"-metrics", filepath.Join(dir, "m.json"))
+	if !strings.Contains(cached, "payoff cache:") {
+		t.Errorf("cache summary line missing:\n%s", cached)
+	}
+	// The science output (final fitness, cooperation, abundance) must be
+	// byte-identical with and without the cache; strip the metrics-only
+	// lines from the cached run before comparing.
+	tail := func(s string) string {
+		i := strings.Index(s, "final mean fitness")
+		if i < 0 {
+			t.Fatalf("no final fitness line:\n%s", s)
+		}
+		s = s[i:]
+		if j := strings.Index(s, "metrics ("); j >= 0 {
+			s = s[:j]
+		}
+		return s
+	}
+	if tail(plain) != tail(cached) {
+		t.Errorf("cache changed the science output:\n--- off ---\n%s\n--- on ---\n%s", tail(plain), tail(cached))
+	}
+}
+
+func TestRunRejectsNegativeCacheSize(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-gens", "10", "-payoff-cache", "-payoff-cache-size", "-5"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "cache size") {
+		t.Fatalf("negative cache size accepted: %v", err)
+	}
+}
+
 // Sequential runs collect phase metrics too.
 func TestRunMetricsSequential(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "m.json")

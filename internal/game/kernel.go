@@ -1,0 +1,59 @@
+package game
+
+import (
+	"fmt"
+
+	"repro/internal/strategy"
+)
+
+// PlayPure runs one error-free IPD match between two pure strategies with a
+// bit-packed inner loop: moves are read straight out of the strategies'
+// response bitset words (bit set = Defect) and the per-joint-move payoffs
+// come from a precomputed 4-entry table, so a round is a handful of shifts
+// and two float additions regardless of memory depth. At memory six the
+// strategy table is 4096 bits; this path touches only the one word holding
+// the current state instead of dispatching through the Strategy interface.
+//
+// The result is bit-identical to Play(rules, s0, s1, ·) with ErrorRate == 0:
+// the payoffs added each round are the exact Score values and the
+// accumulation order is the same round order, so Fitness0/Fitness1 match to
+// the last ULP (pinned by TestPlayPureBitIdentical). It panics if rules
+// carry a positive error rate — noisy matches consume randomness and must go
+// through Play.
+func PlayPure(rules Rules, s0, s1 *strategy.Pure) Result {
+	sp := s0.Space()
+	if s1.Space() != sp {
+		panic(fmt.Sprintf("game: mismatched spaces (memory %d vs %d)", sp.Memory(), s1.Space().Memory()))
+	}
+	if rules.ErrorRate > 0 {
+		panic("game: PlayPure requires ErrorRate == 0")
+	}
+	// score[m0<<1|m1] holds the exact Score values Play would add, so the
+	// accumulation below is bit-identical to the interface path.
+	var score0, score1 [4]float64
+	for m0 := strategy.Move(0); m0 <= 1; m0++ {
+		for m1 := strategy.Move(0); m1 <= 1; m1++ {
+			f0, f1 := rules.Payoff.Score(m0, m1)
+			score0[m0<<1|m1] = f0
+			score1[m0<<1|m1] = f1
+		}
+	}
+	w0 := s0.Bits().Words()
+	w1 := s1.Bits().Words()
+	mask := uint32(sp.NumStates() - 1)
+	st0 := sp.InitialState()
+	st1 := sp.InitialState()
+	res := Result{Rounds: rules.Rounds}
+	for r := 0; r < rules.Rounds; r++ {
+		m0 := uint32(w0[st0>>6]>>(st0&63)) & 1 // 1 = Defect, matching the bitset convention
+		m1 := uint32(w1[st1>>6]>>(st1&63)) & 1
+		jm := m0<<1 | m1
+		res.Fitness0 += score0[jm]
+		res.Fitness1 += score1[jm]
+		res.Coop0 += int(m0 ^ 1)
+		res.Coop1 += int(m1 ^ 1)
+		st0 = ((st0 << 2) | jm) & mask
+		st1 = ((st1 << 2) | (m1<<1 | m0)) & mask
+	}
+	return res
+}

@@ -1,0 +1,112 @@
+package game
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/strategy"
+)
+
+// TestPlayPureBitIdentical pins the kernel's determinism contract: for every
+// memory depth the bit-packed path must reproduce Play (and the
+// paper-faithful SearchEngine) bit for bit, fitness included — the cache
+// stores these numbers, so any ULP drift would make cache-on and cache-off
+// runs diverge.
+func TestPlayPureBitIdentical(t *testing.T) {
+	src := rng.New(42)
+	rules := DefaultRules()
+	for n := 1; n <= strategy.MaxMemory; n++ {
+		sp := strategy.NewSpace(n)
+		eng := NewSearchEngine(sp)
+		for trial := 0; trial < 20; trial++ {
+			s0 := strategy.RandomPure(sp, src)
+			s1 := strategy.RandomPure(sp, src)
+			want := Play(rules, s0, s1, src)
+			got := PlayPure(rules, s0, s1)
+			if got != want {
+				t.Fatalf("memory %d trial %d: PlayPure %+v != Play %+v", n, trial, got, want)
+			}
+			if n <= 3 { // linear search is O(4^n·n) per round; keep it tractable
+				se := eng.Play(rules, s0, s1, src)
+				if se != want {
+					t.Fatalf("memory %d trial %d: SearchEngine %+v != Play %+v", n, trial, se, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPayoffAccumulationOrder is the float-sensitivity regression: with
+// payoff values that are not exactly representable in binary (0.1-style
+// decimals) any reassociation of the per-round additions — vectorising,
+// cycle extrapolation, pairwise summation — would change the low bits of
+// Fitness. The kernel must add the identical values in the identical round
+// order as Play.
+func TestPayoffAccumulationOrder(t *testing.T) {
+	rules := Rules{
+		// T > R > P > S and 2R > T+S, every value a repeating binary fraction.
+		Payoff: Payoff{R: 0.3, S: 0.1, T: 0.4, P: 0.2},
+		Rounds: 1001, // odd and > any cycle length, so extrapolation shortcuts would show
+	}
+	if err := rules.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(7)
+	for n := 1; n <= 3; n++ {
+		sp := strategy.NewSpace(n)
+		for trial := 0; trial < 50; trial++ {
+			s0 := strategy.RandomPure(sp, src)
+			s1 := strategy.RandomPure(sp, src)
+			want := Play(rules, s0, s1, src)
+			got := PlayPure(rules, s0, s1)
+			if got.Fitness0 != want.Fitness0 || got.Fitness1 != want.Fitness1 {
+				t.Fatalf("memory %d trial %d: fitness drifted: PlayPure (%v,%v) != Play (%v,%v)",
+					n, trial, got.Fitness0, got.Fitness1, want.Fitness0, want.Fitness1)
+			}
+			if got.Mean0() != want.Mean0() || got.Mean1() != want.Mean1() {
+				t.Fatalf("memory %d trial %d: mean payoff drifted", n, trial)
+			}
+		}
+	}
+}
+
+func TestPlayPureRejectsNoise(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlayPure accepted ErrorRate > 0")
+		}
+	}()
+	sp := strategy.NewSpace(1)
+	rules := DefaultRules()
+	rules.ErrorRate = 0.01
+	PlayPure(rules, strategy.NewPure(sp), strategy.NewPure(sp))
+}
+
+func TestPlayPureRejectsMismatchedSpaces(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PlayPure accepted mismatched spaces")
+		}
+	}()
+	PlayPure(DefaultRules(), strategy.NewPure(strategy.NewSpace(1)), strategy.NewPure(strategy.NewSpace(2)))
+}
+
+func BenchmarkPlayPureVsPlay(b *testing.B) {
+	src := rng.New(9)
+	rules := DefaultRules()
+	for _, n := range []int{1, 3, 6} {
+		sp := strategy.NewSpace(n)
+		s0 := strategy.RandomPure(sp, src)
+		s1 := strategy.RandomPure(sp, src)
+		b.Run("interface/m"+string(rune('0'+n)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Play(rules, s0, s1, src)
+			}
+		})
+		b.Run("bitpacked/m"+string(rune('0'+n)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				PlayPure(rules, s0, s1)
+			}
+		})
+	}
+}

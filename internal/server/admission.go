@@ -47,7 +47,11 @@ func (m CostModel) normalised() CostModel {
 //     matches) at the combined churn rate min(1, pc+mu);
 //   - a match costs Cal.GameSeconds[memory] × rounds / CalRounds; exact
 //     mode replaces the sampled match with the Markov solve, whose sparse
-//     iteration is priced like a 4^memory-round match.
+//     iteration is priced like a 4^memory-round match;
+//   - with the pair-payoff cache on (and the config memoizable — exact
+//     mode, or error-free deterministic strategies), the match count is
+//     replaced by perfmodel.CacheAdjustedGames: warm-up and churn misses at
+//     full price, recurring pairs at PairCacheHitCostRatio.
 //
 // The estimate is an admission heuristic, not a promise — it ignores rank
 // parallelism (a queued job may run on any engine) and mixing effects.
@@ -55,14 +59,17 @@ func (m CostModel) EstimateSeconds(cfg sim.Config) float64 {
 	m = m.normalised()
 	s := float64(cfg.NumSSets)
 	gens := float64(cfg.Generations)
+	churn := cfg.PCRate + cfg.Mu
+	if churn > 1 {
+		churn = 1
+	}
 	var games float64
-	if cfg.FullRecompute {
+	switch {
+	case cfg.PayoffCache && cacheablePayoffs(cfg):
+		games = perfmodel.CacheAdjustedGames(cfg.Generations, cfg.NumSSets, churn, cfg.FullRecompute)
+	case cfg.FullRecompute:
 		games = gens * s * (s - 1)
-	} else {
-		churn := cfg.PCRate + cfg.Mu
-		if churn > 1 {
-			churn = 1
-		}
+	default:
 		games = s * (s - 1)
 		if gens > 1 {
 			games += (gens - 1) * churn * 2 * (s - 1)
@@ -74,6 +81,16 @@ func (m CostModel) EstimateSeconds(cfg sim.Config) float64 {
 	}
 	perMatch := m.Cal.GameSeconds[cfg.Memory] * rounds / float64(m.CalRounds)
 	return games * perMatch
+}
+
+// cacheablePayoffs mirrors the engine's cacheability contract
+// (docs/KERNEL.md) at the config level: exact-mode payoffs are always
+// memoizable; sampled matches are memoizable when error-free and the
+// strategy kind is deterministic. Mixed runs can still enable the cache —
+// degenerate tables hit — but admission must not assume a discount for
+// pairs the engine will bypass.
+func cacheablePayoffs(cfg sim.Config) bool {
+	return cfg.ExactPayoffs || (cfg.Kind == sim.PureStrategies && cfg.Rules.ErrorRate == 0)
 }
 
 // admissionError is a structured rejection: the HTTP layer maps Status to

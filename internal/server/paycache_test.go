@@ -1,0 +1,86 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCostModelCacheDiscount: enabling the payoff cache on a memoizable
+// full-recompute job must cut the modelled cost by at least the 10x the
+// kernel targets, while non-memoizable jobs keep the undiscounted price.
+func TestCostModelCacheDiscount(t *testing.T) {
+	m := DefaultCostModel()
+	base := sim.DefaultConfig(2, 32)
+	base.Generations = 5000
+	base.FullRecompute = true
+	if err := base.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	uncached := m.EstimateSeconds(base)
+
+	cached := base
+	cached.PayoffCache = true
+	discounted := m.EstimateSeconds(cached)
+	if discounted <= 0 {
+		t.Fatalf("discounted estimate %v, want > 0", discounted)
+	}
+	if discounted > uncached/10 {
+		t.Fatalf("cache discount too small: %v vs %v uncached (want >= 10x)", discounted, uncached)
+	}
+
+	// Mixed strategies with noise are not memoizable: no discount.
+	noisy := cached
+	noisy.Kind = sim.MixedStrategies
+	noisy.Rules.ErrorRate = 0.01
+	if got := m.EstimateSeconds(noisy); got != m.EstimateSeconds(func() sim.Config {
+		c := noisy
+		c.PayoffCache = false
+		return c
+	}()) {
+		t.Fatalf("non-memoizable job got a cache discount: %v", got)
+	}
+
+	// Exact mode is memoizable even for mixed strategies.
+	exact := base
+	exact.Kind = sim.MixedStrategies
+	exact.ExactPayoffs = true
+	exact.PayoffCache = true
+	exactOff := exact
+	exactOff.PayoffCache = false
+	if m.EstimateSeconds(exact) >= m.EstimateSeconds(exactOff) {
+		t.Fatal("exact-mode job got no cache discount")
+	}
+}
+
+// TestJobSpecPayoffCacheFields: the wire fields reach the engine config.
+func TestJobSpecPayoffCacheFields(t *testing.T) {
+	spec := JobSpec{
+		Memory:          1,
+		SSets:           8,
+		Generations:     10,
+		Seed:            1,
+		PayoffCache:     true,
+		PayoffCacheSize: 512,
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.PayoffCache || cfg.PayoffCacheSize != 512 {
+		t.Fatalf("cache fields lost in translation: %+v", cfg)
+	}
+	spec.PayoffCacheSize = -1
+	if _, err := spec.Config(); err == nil {
+		t.Fatal("negative payoff_cache_size validated")
+	}
+}
+
+// TestServiceRunsCachedJob: a cached job submitted over HTTP completes and
+// its folded metrics include the cache series.
+func TestServiceRunsCachedJob(t *testing.T) {
+	ts := newTestServer(t, Options{})
+	id := submit(t, ts, "",
+		`{"memory":1,"ssets":8,"generations":30,"rounds":10,"seed":4,"full_recompute":true,"payoff_cache":true,"metrics":true}`)
+	waitState(t, ts, id, StateDone)
+}

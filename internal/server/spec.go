@@ -40,6 +40,15 @@ type JobSpec struct {
 	ExactPayoffs bool `json:"exact_payoffs,omitempty"`
 	// SearchEngine selects the paper-faithful linear find_state lookup.
 	SearchEngine bool `json:"search_engine,omitempty"`
+	// PayoffCache enables the strategy-pair payoff memo (docs/KERNEL.md):
+	// bit-identical results, recurring matches served from a bounded LRU.
+	// Memoizable jobs are also priced with the cache-aware cost model, so a
+	// full-recompute job the admission controller would otherwise reject can
+	// clear the budget with the cache on.
+	PayoffCache bool `json:"payoff_cache,omitempty"`
+	// PayoffCacheSize bounds the cache entries per rank (0 selects the
+	// engine default).
+	PayoffCacheSize int `json:"payoff_cache_size,omitempty"`
 	// Ranks selects the parallel engine with that many ranks (>= 2); 0 or 1
 	// runs the sequential reference engine.
 	Ranks int `json:"ranks,omitempty"`
@@ -88,6 +97,8 @@ func (s JobSpec) Config() (sim.Config, error) {
 		FullRecompute:   s.FullRecompute,
 		ExactPayoffs:    s.ExactPayoffs,
 		UseSearchEngine: s.SearchEngine,
+		PayoffCache:     s.PayoffCache,
+		PayoffCacheSize: s.PayoffCacheSize,
 		SampleStride:    s.SampleStride,
 		CheckpointEvery: s.CheckpointEvery,
 		Metrics:         s.Metrics,

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/game"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 )
@@ -49,18 +50,25 @@ type PhaseStat struct {
 }
 
 // RankPhaseSnapshot is one rank's per-phase timing, phases sorted by name.
-// Rank is the original (pre-eviction) rank.
+// Rank is the original (pre-eviction) rank. Cache carries the rank's
+// payoff-cache counters when Config.PayoffCache is set (nil otherwise, so
+// cache-off runs gather byte-identical snapshots to pre-cache builds).
 type RankPhaseSnapshot struct {
-	Rank   int         `json:"rank"`
-	Phases []PhaseStat `json:"phases,omitempty"`
+	Rank   int              `json:"rank"`
+	Phases []PhaseStat      `json:"phases,omitempty"`
+	Cache  *game.CacheStats `json:"cache,omitempty"`
 }
 
 // WireBytes models the gather payload carrying a snapshot to the Nature
-// rank: one rank word plus, per phase, the name bytes and two words.
+// rank: one rank word plus, per phase, the name bytes and two words, plus
+// five words of cache counters when present.
 func (s RankPhaseSnapshot) WireBytes() uint64 {
 	n := uint64(8)
 	for _, p := range s.Phases {
 		n += uint64(len(p.Phase)) + 16
+	}
+	if s.Cache != nil {
+		n += 5 * 8
 	}
 	return n
 }
@@ -206,6 +214,12 @@ func (r *Result) MetricsRegistry() *metrics.Registry {
 		for _, p := range rs.Phases {
 			reg.Counter(metrics.Name("egd_phase_calls_total", "phase", p.Phase, "rank", rank)).Add(p.Calls)
 			reg.Gauge(metrics.Name("egd_phase_nanos", "phase", p.Phase, "rank", rank)).Set(p.Nanos)
+		}
+		if cs := rs.Cache; cs != nil {
+			reg.Counter(metrics.Name("egd_payoff_cache_hits_total", "rank", rank)).Add(cs.Hits)
+			reg.Counter(metrics.Name("egd_payoff_cache_misses_total", "rank", rank)).Add(cs.Misses)
+			reg.Counter(metrics.Name("egd_payoff_cache_evictions_total", "rank", rank)).Add(cs.Evictions)
+			reg.Gauge(metrics.Name("egd_payoff_cache_entries", "rank", rank)).Set(int64(cs.Entries))
 		}
 	}
 	for _, cs := range r.Metrics.Comm {

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/game"
 	"repro/internal/mpi"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -619,10 +618,7 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 	pop := NewPopulation(cfg, master) // same deterministic initialisation
 	s := cfg.NumSSets
 	end := cfg.StartGeneration + cfg.Generations
-	var eng *game.SearchEngine
-	if cfg.UseSearchEngine {
-		eng = game.NewSearchEngine(pop.Space())
-	}
+	kern := newPayoffKernel(&cfg)
 
 	w := c.Rank() - 1
 	lo, hi := blockRange(s*(s-1), c.Size()-1, w)
@@ -639,15 +635,18 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 		pt = newPhaseTimer()
 	}
 
-	// refresh replays the owned pairs whose participants changed. A playPair
-	// failure (exact-mode analysis error) aborts the pass: it is a
-	// configuration fault, not a rank failure, so it propagates out of the
-	// run instead of triggering eviction.
+	// refresh replays the owned pairs whose participants changed. A
+	// pairPayoff failure (exact-mode analysis error) aborts the pass: it is
+	// a configuration fault, not a rank failure, so it propagates out of the
+	// run instead of triggering eviction. games counts every owned pair the
+	// schedule touched, cache hits included — Nature's cross-check tallies
+	// scheduled games, and a memo hit still delivers a scheduled payoff.
 	refresh := func(g int) error {
+		kern.prepare(&cfg, pop)
 		for k := lo; k < hi; k++ {
 			i, j := pairToIJ(s, k)
 			if cfg.FullRecompute || pop.dirty[i] || pop.dirty[j] {
-				v, err := playPair(&cfg, master, eng, g, i, j, pop.strategies[i], pop.strategies[j])
+				v, err := kern.pairPayoff(&cfg, master, g, i, j, pop.strategies[i], pop.strategies[j])
 				if err != nil {
 					return err
 				}
@@ -660,9 +659,10 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 	// replayAll recomputes the whole owned block from generation g's
 	// streams, regardless of dirtiness — the post-eviction rebuild.
 	replayAll := func(g int) error {
+		kern.prepare(&cfg, pop)
 		for k := lo; k < hi; k++ {
 			i, j := pairToIJ(s, k)
-			v, err := playPair(&cfg, master, eng, g, i, j, pop.strategies[i], pop.strategies[j])
+			v, err := kern.pairPayoff(&cfg, master, g, i, j, pop.strategies[i], pop.strategies[j])
 			if err != nil {
 				return err
 			}
@@ -781,9 +781,12 @@ func workerRank(cfg Config, c *mpi.Comm) error {
 			return err
 		}
 		pt.end(PhaseReduce, tr)
-		// Ship the phase timings; mirrors Nature's metrics Gather.
+		// Ship the phase timings (plus this rank's cache counters when
+		// caching is on); mirrors Nature's metrics Gather.
 		if cfg.Metrics {
-			if _, err := c.Gather(0, pt.snapshot(c.OrigRank())); err != nil {
+			snap := pt.snapshot(c.OrigRank())
+			snap.Cache = kern.cacheStats()
+			if _, err := c.Gather(0, snap); err != nil {
 				return err
 			}
 		}

@@ -1,11 +1,8 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 
-	"repro/internal/analysis"
-	"repro/internal/game"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/strategy"
@@ -190,44 +187,21 @@ func Fermi(beta, piT, piL float64) float64 {
 	return 1.0 / (1.0 + math.Exp(-beta*(piT-piL)))
 }
 
-// playPair runs the (i, j) match and returns SSet i's mean per-round payoff
-// against j. Randomness derives from (seed, gen, i, j) so both engines — and
-// any rank layout — replay identical games. In exact mode the sampled match
-// is replaced by the infinite-game Markov payoff, which needs no randomness
-// at all.
-func playPair(cfg *Config, master *rng.Source, eng *game.SearchEngine, gen, i, j int, si, sj strategy.Strategy) (float64, error) {
-	if cfg.ExactPayoffs {
-		pi0, _, err := analysis.MarkovPayoffN(cfg.Rules.Payoff, si, sj, cfg.Rules.ErrorRate)
-		if err != nil {
-			// Config.Validate probes exact-mode computability up front, so
-			// this is nearly unreachable — but a malformed job (say, an
-			// observer injecting a wrong-space strategy) must surface as an
-			// error the caller can fail one run with, never a panic that
-			// takes down a long-running daemon hosting many runs.
-			return 0, fmt.Errorf("sim: exact payoff for pair (%d,%d) at generation %d: %w", i, j, gen, err)
-		}
-		return pi0, nil
-	}
-	src := master.Derive(0x6A3E, uint64(gen), uint64(i), uint64(j))
-	var res game.Result
-	if eng != nil {
-		res = eng.Play(cfg.Rules, si, sj, src)
-	} else {
-		res = game.Play(cfg.Rules, si, sj, src)
-	}
-	return res.Mean0(), nil
-}
-
 // refreshPayoffs brings the payoff table up to date for generation gen over
 // the SSet range [lo, hi) (the rows this caller owns). In full-recompute
 // mode every owned row is replayed; in incremental mode only games
 // involving a dirty SSet are. Column entries i<j and j<i are separate games,
 // exactly as in the paper where each SSet's own agents model all its
-// matches. Returns the number of games played; a playPair failure aborts
-// the refresh and propagates so the run fails cleanly instead of panicking.
-func refreshPayoffs(cfg *Config, pop *Population, master *rng.Source, eng *game.SearchEngine, gen, lo, hi int) (uint64, error) {
+// matches. Match evaluation goes through kern (payoffKernel.pairPayoff; a
+// nil kernel selects the plain uncached path). Returns the number of games
+// played — a cache hit still counts, since the game was scheduled and its
+// payoff delivered; only the recomputation was skipped. A pairPayoff failure
+// aborts the refresh and propagates so the run fails cleanly instead of
+// panicking.
+func refreshPayoffs(cfg *Config, pop *Population, master *rng.Source, kern *payoffKernel, gen, lo, hi int) (uint64, error) {
 	games := uint64(0)
 	s := pop.Size()
+	kern.prepare(cfg, pop)
 	for i := lo; i < hi; i++ {
 		replayAll := cfg.FullRecompute || pop.dirty[i]
 		for j := 0; j < s; j++ {
@@ -235,7 +209,7 @@ func refreshPayoffs(cfg *Config, pop *Population, master *rng.Source, eng *game.
 				continue
 			}
 			if replayAll || pop.dirty[j] {
-				v, err := playPair(cfg, master, eng, gen, i, j, pop.strategies[i], pop.strategies[j])
+				v, err := kern.pairPayoff(cfg, master, gen, i, j, pop.strategies[i], pop.strategies[j])
 				if err != nil {
 					return games, err
 				}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/game"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -20,10 +19,7 @@ func RunSequential(cfg Config) (*Result, error) {
 	start := time.Now() //egdlint:allow determinism elapsed-time metadata for Result.Elapsed, not part of the trajectory
 	master := rng.New(cfg.Seed)
 	pop := NewPopulation(cfg, master)
-	var eng *game.SearchEngine
-	if cfg.UseSearchEngine {
-		eng = game.NewSearchEngine(pop.Space())
-	}
+	kern := newPayoffKernel(&cfg)
 	res := &Result{Ranks: 1, Counters: cfg.BaseCounters}
 	res.MeanFitness, _ = stats.NewSeries(cfg.SampleStride)
 	res.Cooperation, _ = stats.NewSeries(cfg.SampleStride)
@@ -45,7 +41,7 @@ func RunSequential(cfg Config) (*Result, error) {
 		}
 		// Game dynamics: bring every SSet's payoff row up to date.
 		tg := pt.begin()
-		played, err := refreshPayoffs(&cfg, pop, master, eng, gen, 0, pop.Size())
+		played, err := refreshPayoffs(&cfg, pop, master, kern, gen, 0, pop.Size())
 		res.Counters.GamesPlayed += played
 		if err != nil {
 			return nil, err
@@ -81,7 +77,9 @@ func RunSequential(cfg Config) (*Result, error) {
 	res.FinalFitness = pop.Fitnesses()
 	res.Elapsed = time.Since(start) //egdlint:allow determinism elapsed-time metadata, not part of the trajectory
 	if cfg.Metrics {
-		res.Metrics = &RunMetrics{Phases: []RankPhaseSnapshot{pt.snapshot(0)}}
+		snap := pt.snapshot(0)
+		snap.Cache = kern.cacheStats()
+		res.Metrics = &RunMetrics{Phases: []RankPhaseSnapshot{snap}}
 		if cfg.EventLog != nil {
 			cfg.EventLog.Append(trace.Event{Kind: trace.EventMetrics,
 				Generation: cfg.StartGeneration + cfg.Generations, Rank: 0,
